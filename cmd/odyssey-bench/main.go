@@ -1,0 +1,191 @@
+// Command odyssey-bench reproduces the paper's evaluation figures on the
+// simulated disk and prints them as text tables.
+//
+// Usage:
+//
+//	odyssey-bench -experiment fig4a            # one figure
+//	odyssey-bench -experiment all              # everything (slow)
+//	odyssey-bench -experiment fig4a -objects 20000 -queries 500
+//	odyssey-bench -experiment fig4a -verify    # check engines vs oracle first
+//
+// The reported times are simulated disk seconds (deterministic), matching
+// the paper's disk-bound methodology; see DESIGN.md §3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"spaceodyssey/internal/bench"
+	"spaceodyssey/internal/datagen"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "figure id (fig4a..fig4d, fig5a..fig5c), comma list, or 'all'")
+		datasets   = flag.Int("datasets", 10, "number of datasets (paper: 10)")
+		objects    = flag.Int("objects", 100000, "objects per dataset")
+		queries    = flag.Int("queries", 1000, "queries per workload (paper: 1000)")
+		qvol       = flag.Float64("qvol", 1e-4, "query volume fraction of the explored volume")
+		seed       = flag.Int64("seed", 7, "workload seed")
+		dataSeed   = flag.Int64("data-seed", 1, "dataset generation seed")
+		gridCells  = flag.Int("grid-cells", 6, "grid baseline cells per dimension")
+		ksFlag     = flag.String("ks", "1,3,5,7,9", "datasets-per-query sweep for figure 4")
+		layout     = flag.String("layout", "clustered", "data layout: clustered|uniform|filamentary")
+		verify     = flag.Bool("verify", false, "verify each engine against the naive oracle first (slow)")
+		seekUS     = flag.Int("seek-us", 500, "simulated seek+rotational latency in microseconds (8000 = unscaled SAS; 500 = reduced-scale calibration, see DESIGN.md)")
+		transferUS = flag.Int("transfer-us", 25, "simulated per-page transfer time in microseconds")
+		csvDir     = flag.String("csv", "", "also write plot-ready CSV files into this directory")
+	)
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	cfg := bench.DefaultConfig()
+	cfg.Datasets = *datasets
+	cfg.ObjectsPerDataset = *objects
+	cfg.DataSeed = *dataSeed
+	cfg.GridCells = *gridCells
+	cfg.Cost.Seek = time.Duration(*seekUS) * time.Microsecond
+	cfg.Cost.Transfer = time.Duration(*transferUS) * time.Microsecond
+	switch *layout {
+	case "clustered":
+		cfg.DataLayout = datagen.Clustered
+	case "uniform":
+		cfg.DataLayout = datagen.Uniform
+	case "filamentary":
+		cfg.DataLayout = datagen.Filamentary
+	default:
+		fatalf("unknown layout %q", *layout)
+	}
+	wcfg := bench.WorkloadConfig{Queries: *queries, QueryVolumeFrac: *qvol, Seed: *seed}
+
+	var ks []int
+	for _, part := range strings.Split(*ksFlag, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || k < 1 {
+			fatalf("bad -ks entry %q", part)
+		}
+		ks = append(ks, k)
+	}
+
+	ids := map[bool][]string{
+		true:  {"fig4a", "fig4b", "fig4c", "fig4d", "fig5a", "fig5b", "fig5c"},
+		false: strings.Split(*experiment, ","),
+	}[*experiment == "all"]
+
+	env := bench.NewEnv(cfg)
+	fmt.Printf("environment: %d datasets x %d objects (%s), %d queries, qvol=%g, grid=%d^3\n\n",
+		cfg.Datasets, cfg.ObjectsPerDataset, cfg.DataLayout, wcfg.Queries,
+		wcfg.QueryVolumeFrac, cfg.GridCells)
+
+	if *verify {
+		runVerification(env, wcfg)
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		if id == "gridsweep" {
+			rows, err := bench.GridSweep(env, wcfg, nil, nil)
+			if err != nil {
+				fatalf("gridsweep: %v", err)
+			}
+			bench.PrintGridSweep(os.Stdout, rows)
+			fmt.Println()
+			continue
+		}
+		spec, err := bench.FigureByID(id)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		start := time.Now()
+		switch {
+		case strings.HasPrefix(id, "fig4"):
+			res, err := bench.Figure4(env, spec, wcfg, ks, nil)
+			if err != nil {
+				fatalf("%s: %v", id, err)
+			}
+			bench.PrintFigure4(os.Stdout, res)
+			writeCSV(*csvDir, id, func(w io.Writer) error { return bench.WriteFigure4CSV(w, res) })
+		case id == "fig5c":
+			res, err := bench.Figure5c(env, wcfg)
+			if err != nil {
+				fatalf("%s: %v", id, err)
+			}
+			bench.PrintFigure5c(os.Stdout, res)
+			writeCSV(*csvDir, id, func(w io.Writer) error { return bench.WriteFigure5cCSV(w, res) })
+		default: // fig5a, fig5b
+			res, err := bench.Figure5(env, spec, wcfg, nil)
+			if err != nil {
+				fatalf("%s: %v", id, err)
+			}
+			bench.PrintFigure5(os.Stdout, res)
+			writeCSV(*csvDir, id, func(w io.Writer) error { return bench.WriteFigure5CSV(w, res) })
+		}
+		fmt.Printf("(%s completed in %.1fs wall time)\n\n", id, time.Since(start).Seconds())
+	}
+}
+
+// writeCSV writes one figure's CSV into dir (no-op when dir is empty).
+func writeCSV(dir, id string, write func(io.Writer) error) {
+	if dir == "" {
+		return
+	}
+	path := filepath.Join(dir, id+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatalf("writing %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("(wrote %s)\n", path)
+}
+
+// runVerification checks every engine against the oracle on a reduced
+// workload before trusting the numbers.
+func runVerification(env *bench.Env, wcfg bench.WorkloadConfig) {
+	fmt.Println("verifying engines against the naive-scan oracle...")
+	spec, err := bench.FigureByID("fig4a")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	small := wcfg
+	if small.Queries > 100 {
+		small.Queries = 100
+	}
+	w, err := bench.WorkloadForSpec(env, spec, small, 3)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, kind := range []bench.EngineKind{
+		bench.KindOdyssey, bench.KindOdysseyNoMerge, bench.KindFLATAin1,
+		bench.KindFLAT1fE, bench.KindRTreeAin1, bench.KindRTree1fE,
+		bench.KindGrid1fE, bench.KindGridAin1,
+	} {
+		if err := env.VerifyAgainstOracle(kind, w); err != nil {
+			fatalf("VERIFICATION FAILED: %v", err)
+		}
+		fmt.Printf("  %-16s ok\n", kind)
+	}
+	fmt.Println()
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "odyssey-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

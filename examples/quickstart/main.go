@@ -1,0 +1,58 @@
+// Quickstart: create an explorer, add three datasets, and run range
+// queries — no upfront indexing, the engine adapts as you query.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	odyssey "spaceodyssey"
+)
+
+func main() {
+	// An Explorer with the paper's default configuration (rt=4, ppl=64,
+	// mt=2, |C|>=3) over the unit exploration volume. Caches are dropped
+	// before each query so latencies reflect cold disk access, like the
+	// paper's methodology.
+	ex, err := odyssey.NewExplorer(odyssey.Options{DropCachesPerQuery: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three synthetic datasets sharing the same volume — stand-ins for
+	// captures of the same brain region by different instruments.
+	datasets := odyssey.GenerateDatasets(odyssey.DataConfig{
+		Seed: 42, NumObjects: 20000,
+	}, 3)
+	for i, data := range datasets {
+		if err := ex.AddDataset(odyssey.DatasetID(i), data); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("added %d datasets; nothing is indexed yet\n\n", ex.NumDatasets())
+
+	// Query a region where data actually lives (around some object of
+	// dataset 0). The first query pays for the level-0 in-situ
+	// partitioning of the datasets it touches; repeats of the same area
+	// get cheaper as the engine refines exactly where we query.
+	q := odyssey.Cube(datasets[0][100].Center, 0.04)
+	for i := 1; i <= 5; i++ {
+		objs, dt, err := ex.QueryTimed(q, []odyssey.DatasetID{0, 1, 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query %d: %4d objects in %12v simulated disk time\n", i, len(objs), dt)
+	}
+
+	// What happened under the hood.
+	m := ex.Metrics()
+	fmt.Printf("\ntrees built: %d, refinements: %d, merge files: %d\n",
+		m.TreesBuilt, m.Refinements, m.MergeFilesCreated)
+	for i := 0; i < ex.NumDatasets(); i++ {
+		info, _ := ex.Dataset(odyssey.DatasetID(i))
+		fmt.Printf("dataset %d: %d leaf partitions cover the queried areas\n",
+			info.ID, info.Leaves)
+	}
+}

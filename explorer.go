@@ -1,0 +1,242 @@
+package odyssey
+
+import (
+	"fmt"
+	"time"
+
+	"spaceodyssey/internal/core"
+	"spaceodyssey/internal/geom"
+	"spaceodyssey/internal/rawfile"
+	"spaceodyssey/internal/simdisk"
+)
+
+// Options configures an Explorer. The zero value uses the paper's defaults:
+// rt=4, ppl=64, mt=2, |C|>=3, SAS-disk cost model, 1024-page cache, unit
+// exploration volume.
+type Options struct {
+	// Bounds is the shared exploration volume all datasets live in.
+	// Defaults to the unit box.
+	Bounds Box
+	// Cost is the simulated disk's cost model; defaults to the SAS model.
+	Cost CostModel
+	// CachePages is the buffer-cache capacity in 4 KB pages (default 1024).
+	CachePages int
+	// RefinementThreshold is rt: a partition is refined when its volume
+	// exceeds rt times the query volume (default 4).
+	RefinementThreshold float64
+	// PartitionsPerLevel is ppl, the refinement fanout; must be a cube
+	// (default 64).
+	PartitionsPerLevel int
+	// MergeThreshold is mt: a combination is merged after this many
+	// queries (default 2).
+	MergeThreshold int
+	// MinMergeCombination is the smallest |C| worth merging (default 3).
+	MinMergeCombination int
+	// MergeSpaceBudgetPages caps merge-file disk usage with LRU eviction
+	// (default 0 = unlimited).
+	MergeSpaceBudgetPages int64
+	// DisableMerging turns the layout reorganization off (incremental
+	// indexing only).
+	DisableMerging bool
+	// MergeLevelPolicy selects how partitions at different refinement
+	// levels merge: SameLevel (paper default), RefineToFinest, or
+	// CoarsestCover — the strategies §3.2.5 leaves as future work.
+	MergeLevelPolicy MergeLevelPolicy
+	// ShareMergeSegments references partition copies that already exist in
+	// other merge files instead of duplicating them (§3.2.5's improved
+	// disk space management).
+	ShareMergeSegments bool
+	// AdaptiveMergeThresholds lets the engine adjust the merge threshold
+	// at runtime from observed segment reuse (§3.2.5's cost model).
+	AdaptiveMergeThresholds bool
+	// DropCachesPerQuery clears the buffer cache before every query,
+	// matching the paper's measurement methodology (default false for API
+	// users; the benchmark harness always drops).
+	DropCachesPerQuery bool
+}
+
+// engineConfig translates Options into the internal configuration.
+func (o Options) engineConfig() core.Config {
+	cfg := core.DefaultConfig()
+	if o.RefinementThreshold > 0 {
+		cfg.Octree.RefinementThreshold = o.RefinementThreshold
+	}
+	if o.PartitionsPerLevel > 0 {
+		cfg.Octree.PartitionsPerLevel = o.PartitionsPerLevel
+	}
+	if o.MergeThreshold > 0 {
+		cfg.Merger.MergeThreshold = o.MergeThreshold
+	}
+	if o.MinMergeCombination > 0 {
+		cfg.Merger.MinCombination = o.MinMergeCombination
+	}
+	if o.MergeSpaceBudgetPages > 0 {
+		cfg.Merger.SpaceBudgetPages = o.MergeSpaceBudgetPages
+	}
+	cfg.Merger.LevelPolicy = o.MergeLevelPolicy
+	cfg.Merger.ShareSegments = o.ShareMergeSegments
+	cfg.Merger.AdaptiveThresholds = o.AdaptiveMergeThresholds
+	cfg.DisableMerging = o.DisableMerging
+	return cfg
+}
+
+// Explorer is the top-level handle for exploring spatial datasets with
+// Space Odyssey. It owns a simulated disk, the raw dataset files, and the
+// adaptive engine.
+type Explorer struct {
+	opts   Options
+	dev    *simdisk.Device
+	engine *core.Odyssey
+	raws   map[DatasetID]*rawfile.Raw
+}
+
+// NewExplorer creates an Explorer with the given options.
+func NewExplorer(opts Options) (*Explorer, error) {
+	if opts.Bounds.Volume() == 0 {
+		opts.Bounds = geom.UnitBox()
+	}
+	zero := CostModel{}
+	if opts.Cost == zero {
+		opts.Cost = simdisk.DefaultCostModel()
+	}
+	if err := opts.Cost.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.CachePages == 0 {
+		opts.CachePages = 1024
+	}
+	dev := simdisk.NewDevice(opts.Cost, opts.CachePages)
+	eng, err := core.New(dev, nil, opts.Bounds, opts.engineConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Explorer{
+		opts:   opts,
+		dev:    dev,
+		engine: eng,
+		raws:   make(map[DatasetID]*rawfile.Raw),
+	}, nil
+}
+
+// AddDataset registers a dataset: its objects are written to a raw file on
+// the simulated disk (modelling data that already exists, so the write does
+// not count toward exploration time). Every object must carry the given
+// dataset id. The dataset is indexed lazily as queries touch it.
+func (e *Explorer) AddDataset(id DatasetID, objs []Object) error {
+	if _, dup := e.raws[id]; dup {
+		return fmt.Errorf("odyssey: dataset %d already added", id)
+	}
+	for _, o := range objs {
+		if o.Dataset != id {
+			return fmt.Errorf("odyssey: object %d tagged with dataset %d, expected %d",
+				o.ID, o.Dataset, id)
+		}
+	}
+	raw, err := rawfile.Write(e.dev, fmt.Sprintf("ds%d.raw", id), id, objs)
+	if err != nil {
+		return err
+	}
+	if err := e.engine.AddRaw(raw); err != nil {
+		return err
+	}
+	e.raws[id] = raw
+	// The data pre-exists the exploration session: acquiring it is not
+	// query-to-insight time.
+	e.dev.ResetClock()
+	e.dev.ResetStats()
+	e.dev.DropCaches()
+	return nil
+}
+
+// NumDatasets returns how many datasets have been added.
+func (e *Explorer) NumDatasets() int { return len(e.raws) }
+
+// Query returns all objects intersecting q in the requested datasets,
+// adapting the physical layout as a side effect (incremental indexing,
+// refinement, merging).
+func (e *Explorer) Query(q Box, datasets []DatasetID) ([]Object, error) {
+	objs, _, err := e.QueryTimed(q, datasets)
+	return objs, err
+}
+
+// QueryTimed is Query plus the simulated latency of this query alone. When
+// Options.DropCachesPerQuery is set, the buffer cache is cleared first,
+// like the paper's cold-cache methodology.
+func (e *Explorer) QueryTimed(q Box, datasets []DatasetID) ([]Object, time.Duration, error) {
+	if len(datasets) == 0 {
+		return nil, 0, fmt.Errorf("odyssey: query names no datasets")
+	}
+	if e.opts.DropCachesPerQuery {
+		e.dev.DropCaches()
+	}
+	start := e.dev.Clock()
+	objs, err := e.engine.Query(q, datasets)
+	if err != nil {
+		return nil, 0, err
+	}
+	return objs, e.dev.Clock() - start, nil
+}
+
+// Clock returns total simulated time spent since the session started.
+func (e *Explorer) Clock() time.Duration { return e.dev.Clock() }
+
+// DiskStats returns the simulated device counters.
+func (e *Explorer) DiskStats() DiskStats { return e.dev.Stats() }
+
+// Metrics returns the engine's internal counters (refinements, merges,
+// merge-file serves, ...).
+func (e *Explorer) Metrics() Metrics { return e.engine.Metrics() }
+
+// DatasetInfo describes the indexing state of one dataset.
+type DatasetInfo struct {
+	ID         DatasetID
+	Objects    int
+	Indexed    bool // level-0 partitioning has run
+	Leaves     int  // current number of leaf partitions
+	MaxExtent  Vec
+	RawPages   int64
+	Refineable bool
+}
+
+// Dataset returns the indexing state of one dataset.
+func (e *Explorer) Dataset(id DatasetID) (DatasetInfo, error) {
+	raw, ok := e.raws[id]
+	if !ok {
+		return DatasetInfo{}, fmt.Errorf("odyssey: unknown dataset %d", id)
+	}
+	tree := e.engine.Tree(id)
+	info := DatasetInfo{
+		ID:       id,
+		Objects:  raw.NumObjects(),
+		RawPages: raw.NumPages(),
+		Indexed:  tree.Built(),
+	}
+	if tree.Built() {
+		info.Leaves = tree.NumLeaves()
+		info.MaxExtent = tree.MaxExtent()
+		info.Refineable = true
+	}
+	return info, nil
+}
+
+// MergeFileCount returns how many merge files currently exist.
+func (e *Explorer) MergeFileCount() int { return e.engine.Merger().NumFiles() }
+
+// MergeSpacePages returns the disk space merge files occupy.
+func (e *Explorer) MergeSpacePages() int64 { return e.engine.Merger().TotalPages() }
+
+// TargetLevels predicts, via the paper's convergence equation, how many
+// queries must hit a level-1 partition before it converges for queries of
+// volume qVol.
+func (e *Explorer) TargetLevels(id DatasetID, qVol float64) (int, error) {
+	tree := e.engine.Tree(id)
+	if tree == nil {
+		return 0, fmt.Errorf("odyssey: unknown dataset %d", id)
+	}
+	ppl := tree.FanoutPerDim()
+	vp := e.opts.Bounds.Volume() / float64(ppl*ppl*ppl)
+	return tree.TargetLevels(vp, qVol), nil
+}
+
+// Engine exposes the underlying core engine for advanced inspection.
+func (e *Explorer) Engine() *core.Odyssey { return e.engine }

@@ -1,0 +1,282 @@
+package odyssey
+
+import (
+	"testing"
+
+	"spaceodyssey/internal/engine"
+)
+
+func testData(n, perDS int, seed int64) [][]Object {
+	return GenerateDatasets(DataConfig{Seed: seed, NumObjects: perDS, Clusters: 5}, n)
+}
+
+func TestNewExplorerDefaults(t *testing.T) {
+	ex, err := NewExplorer(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.NumDatasets() != 0 {
+		t.Fatal("fresh explorer has datasets")
+	}
+	if ex.Clock() != 0 {
+		t.Fatal("fresh explorer has elapsed time")
+	}
+}
+
+func TestNewExplorerRejectsBadCost(t *testing.T) {
+	if _, err := NewExplorer(Options{Cost: CostModel{Seek: -1}}); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+}
+
+func TestAddDatasetValidation(t *testing.T) {
+	ex, err := NewExplorer(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := testData(2, 500, 1)
+	if err := ex.AddDataset(0, data[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.AddDataset(0, data[0]); err == nil {
+		t.Fatal("duplicate dataset accepted")
+	}
+	// Objects tagged with the wrong dataset id are rejected.
+	if err := ex.AddDataset(5, data[1]); err == nil {
+		t.Fatal("mis-tagged objects accepted")
+	}
+	if ex.NumDatasets() != 1 {
+		t.Fatalf("NumDatasets = %d", ex.NumDatasets())
+	}
+}
+
+func TestQueryLifecycle(t *testing.T) {
+	ex, err := NewExplorer(Options{DropCachesPerQuery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := testData(3, 3000, 2)
+	for i, objs := range data {
+		if err := ex.AddDataset(DatasetID(i), objs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Before any query nothing is indexed.
+	info, err := ex.Dataset(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Indexed {
+		t.Fatal("dataset indexed before first query")
+	}
+	if info.Objects != 3000 || info.RawPages == 0 {
+		t.Fatalf("info = %+v", info)
+	}
+
+	q := Cube(V(0.5, 0.5, 0.5), 0.05)
+	objs, dt, err := ex.QueryTimed(q, []DatasetID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt <= 0 {
+		t.Fatal("query cost zero simulated time")
+	}
+	// Check against a naive filter of the source data.
+	want := 0
+	for dsi := 0; dsi < 2; dsi++ {
+		for _, o := range data[dsi] {
+			if o.Intersects(q) {
+				want++
+			}
+		}
+	}
+	if len(objs) != want {
+		t.Fatalf("query returned %d objects, naive %d", len(objs), want)
+	}
+
+	info, _ = ex.Dataset(0)
+	if !info.Indexed || info.Leaves == 0 {
+		t.Fatal("dataset 0 not indexed after query")
+	}
+	info2, _ := ex.Dataset(2)
+	if info2.Indexed {
+		t.Fatal("unqueried dataset 2 was indexed")
+	}
+	m := ex.Metrics()
+	if m.Queries != 1 || m.TreesBuilt != 2 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if ex.DiskStats().PageReads == 0 {
+		t.Fatal("no disk reads recorded")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	ex, err := NewExplorer(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Query(UnitBox(), nil); err == nil {
+		t.Fatal("empty dataset list accepted")
+	}
+	if _, err := ex.Query(UnitBox(), []DatasetID{9}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if _, err := ex.Dataset(4); err == nil {
+		t.Fatal("Dataset(unknown) succeeded")
+	}
+	if _, err := ex.TargetLevels(4, 1e-6); err == nil {
+		t.Fatal("TargetLevels(unknown) succeeded")
+	}
+}
+
+func TestMergingVisibleThroughAPI(t *testing.T) {
+	ex, err := NewExplorer(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := testData(4, 2500, 3)
+	for i, objs := range data {
+		if err := ex.AddDataset(DatasetID(i), objs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := Cube(V(0.4, 0.4, 0.4), 0.06)
+	dss := []DatasetID{0, 1, 2}
+	for i := 0; i < 3; i++ {
+		if _, err := ex.Query(q, dss); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ex.MergeFileCount() == 0 {
+		t.Fatal("no merge file after repeated combination queries")
+	}
+	if ex.MergeSpacePages() == 0 {
+		t.Fatal("merge files occupy no space")
+	}
+	if ex.Metrics().PartitionsFromMerge == 0 {
+		t.Fatal("no partitions served from merge files")
+	}
+}
+
+func TestDisableMergingOption(t *testing.T) {
+	ex, err := NewExplorer(Options{DisableMerging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := testData(3, 1000, 4)
+	for i, objs := range data {
+		if err := ex.AddDataset(DatasetID(i), objs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := Cube(V(0.5, 0.5, 0.5), 0.08)
+	for i := 0; i < 4; i++ {
+		if _, err := ex.Query(q, []DatasetID{0, 1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ex.MergeFileCount() != 0 {
+		t.Fatal("merge files created despite DisableMerging")
+	}
+}
+
+func TestTargetLevels(t *testing.T) {
+	ex, err := NewExplorer(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := testData(1, 100, 5)
+	if err := ex.AddDataset(0, data[0]); err != nil {
+		t.Fatal(err)
+	}
+	// ppl=64 → level-1 volume 1/64; qVol 1e-5, rt=4:
+	// ratio = (1/64)/(4e-5) ≈ 390 → 2 levels.
+	levels, err := ex.TargetLevels(0, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels != 2 {
+		t.Fatalf("TargetLevels = %d, want 2", levels)
+	}
+}
+
+func TestCompareAgreesAcrossEngines(t *testing.T) {
+	data := testData(4, 1500, 6)
+	w, err := GenerateWorkload(WorkloadConfig{
+		Seed: 7, NumQueries: 25, NumDatasets: 4, DatasetsPerQuery: 3,
+		QueryVolumeFrac: 1e-4, RangeDist: RangeClustered, CombDist: CombZipf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compare(data, w,
+		[]BaselineKind{EngineOdyssey, EngineGrid1fE, EngineNaiveScan},
+		CompareOptions{GridCells: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("%d results", len(res))
+	}
+	for _, r := range res[1:] {
+		if r.Objects != res[0].Objects {
+			t.Fatalf("%s returned %d objects, %s returned %d",
+				r.Engine, r.Objects, res[0].Engine, res[0].Objects)
+		}
+	}
+	for _, r := range res {
+		if len(r.PerQuery) != 25 {
+			t.Fatalf("%s has %d per-query times", r.Engine, len(r.PerQuery))
+		}
+		if r.Total != r.IndexTime+r.QueryTime {
+			t.Fatalf("%s: total mismatch", r.Engine)
+		}
+	}
+	// Odyssey carries metrics; Grid does not.
+	if res[0].Metrics == nil {
+		t.Fatal("Odyssey result missing metrics")
+	}
+	if res[1].Metrics != nil {
+		t.Fatal("Grid result has Odyssey metrics")
+	}
+}
+
+func TestPublicOracleAgreement(t *testing.T) {
+	// End-to-end: the public API must agree with the naive oracle across a
+	// mixed workload (integration test at the API boundary).
+	ex, err := NewExplorer(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := testData(3, 2000, 8)
+	for i, objs := range data {
+		if err := ex.AddDataset(DatasetID(i), objs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, err := GenerateWorkload(WorkloadConfig{
+		Seed: 9, NumQueries: 40, NumDatasets: 3, DatasetsPerQuery: 2,
+		QueryVolumeFrac: 1e-4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range w.Queries {
+		got, err := ex.Query(q.Range, q.Datasets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []Object
+		for _, ds := range q.Datasets {
+			for _, o := range data[ds] {
+				if o.Intersects(q.Range) {
+					want = append(want, o)
+				}
+			}
+		}
+		if !engine.SameObjects(got, want) {
+			t.Fatalf("query %d: %d objects, oracle %d", q.ID, len(got), len(want))
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package odyssey
+
+import (
+	"spaceodyssey/internal/datagen"
+	"spaceodyssey/internal/workload"
+)
+
+// DataLayout selects the spatial distribution of generated objects.
+type DataLayout = datagen.Layout
+
+// Data layouts.
+const (
+	// LayoutClustered concentrates objects around Gaussian clusters —
+	// neuron-morphology-like data.
+	LayoutClustered = datagen.Clustered
+	// LayoutUniform spreads objects uniformly.
+	LayoutUniform = datagen.Uniform
+	// LayoutFilamentary strings objects along line segments — axon- or
+	// cosmic-filament-like data.
+	LayoutFilamentary = datagen.Filamentary
+)
+
+// DataConfig parametrizes synthetic dataset generation (a stand-in for the
+// paper's Human Brain Project meshes; see DESIGN.md for the substitution
+// rationale).
+type DataConfig = datagen.Config
+
+// GenerateObjects produces one synthetic dataset tagged with id.
+func GenerateObjects(cfg DataConfig, id DatasetID) []Object {
+	return datagen.Generate(cfg, id)
+}
+
+// GenerateDatasets produces n datasets sharing cfg.Bounds, with ids 0..n-1.
+func GenerateDatasets(cfg DataConfig, n int) [][]Object {
+	return datagen.GenerateDatasets(cfg, n)
+}
+
+// Workload distributions, re-exported.
+type (
+	// RangeDist selects the query-center distribution.
+	RangeDist = workload.RangeDist
+	// CombDist selects the dataset-combination distribution.
+	CombDist = workload.CombDist
+	// WorkloadConfig parametrizes query-workload generation.
+	WorkloadConfig = workload.Config
+	// Workload is a generated query sequence.
+	Workload = workload.Workload
+)
+
+// Distribution constants (paper §4.1).
+const (
+	RangeClustered  = workload.RangeClustered
+	RangeUniform    = workload.RangeUniform
+	CombUniform     = workload.CombUniform
+	CombHeavyHitter = workload.CombHeavyHitter
+	CombSelfSimilar = workload.CombSelfSimilar
+	CombZipf        = workload.CombZipf
+)
+
+// GenerateWorkload builds a deterministic exploratory workload: fixed-volume
+// range queries (clustered or uniform centers) paired with dataset
+// combinations drawn from a Gray et al. distribution.
+func GenerateWorkload(cfg WorkloadConfig) (Workload, error) {
+	return workload.Generate(cfg)
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Percentile returns the p-th percentile (0..100) of the series by
+// nearest-rank. An empty series yields 0.
+func Percentile(series []time.Duration, p float64) time.Duration {
+	if len(series) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), series...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// WriteFigure4CSV emits one row per (k, engine) with indexing, querying and
+// total simulated seconds — plot-ready.
+func WriteFigure4CSV(w io.Writer, r Figure4Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"figure", "k", "combinations", "engine", "index_s", "query_s", "total_s",
+		"odyssey_answered_by_index_end",
+	}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			r.Spec.ID,
+			fmt.Sprintf("%d", row.K),
+			fmt.Sprintf("%d", row.Combinations),
+			string(row.Engine),
+			fmt.Sprintf("%.6f", row.Index.Seconds()),
+			fmt.Sprintf("%.6f", row.Query.Seconds()),
+			fmt.Sprintf("%.6f", row.Total.Seconds()),
+			fmt.Sprintf("%d", row.OdysseyAnsweredByIndexEnd),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure5CSV emits one row per query id with each engine's simulated
+// latency — the raw series behind the paper's scatter plots.
+func WriteFigure5CSV(w io.Writer, r Figure5Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"figure", "query_id"}
+	for _, e := range r.Engines {
+		header = append(header, string(e)+"_s")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	n := 0
+	for _, s := range r.Series {
+		if len(s) > n {
+			n = len(s)
+		}
+	}
+	for i := 0; i < n; i++ {
+		rec := []string{r.Spec.ID, fmt.Sprintf("%d", i)}
+		for _, e := range r.Engines {
+			s := r.Series[e]
+			if i < len(s) {
+				rec = append(rec, fmt.Sprintf("%.6f", s[i].Seconds()))
+			} else {
+				rec = append(rec, "")
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure5cCSV emits the merging-ablation series (per popular-combo
+// query: with and without merging).
+func WriteFigure5cCSV(w io.Writer, r Figure5cResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"popular_query_idx", "odyssey_s", "no_merge_s"}); err != nil {
+		return err
+	}
+	for i := range r.WithMerge {
+		if err := cw.Write([]string{
+			fmt.Sprintf("%d", i),
+			fmt.Sprintf("%.6f", r.WithMerge[i].Seconds()),
+			fmt.Sprintf("%.6f", r.WithoutMerge[i].Seconds()),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPercentile(t *testing.T) {
+	series := make([]time.Duration, 100)
+	for i := range series {
+		series[i] = time.Duration(i + 1) // 1..100
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0, 1}, {50, 50}, {95, 95}, {99, 99}, {100, 100},
+	}
+	for _, c := range cases {
+		if got := Percentile(series, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty series percentile nonzero")
+	}
+	// Input must not be mutated (sorted copy).
+	shuffled := []time.Duration{5, 1, 4, 2, 3}
+	Percentile(shuffled, 50)
+	if shuffled[0] != 5 || shuffled[4] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+	if got := Percentile([]time.Duration{7}, 50); got != 7 {
+		t.Errorf("single-element percentile = %v", got)
+	}
+}
+
+func TestWriteFigure4CSV(t *testing.T) {
+	res := Figure4Result{
+		Spec: FigureSpec{ID: "fig4a"},
+		Rows: []Figure4Row{
+			{K: 1, Combinations: 10, Engine: KindOdyssey,
+				Index: 0, Query: time.Second, Total: time.Second,
+				OdysseyAnsweredByIndexEnd: -1},
+			{K: 1, Combinations: 10, Engine: KindGrid1fE,
+				Index: 2 * time.Second, Query: 3 * time.Second, Total: 5 * time.Second,
+				OdysseyAnsweredByIndexEnd: 42},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure4CSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0][0] != "figure" || recs[2][3] != "Grid-1fE" || recs[2][7] != "42" {
+		t.Fatalf("unexpected rows: %v", recs)
+	}
+}
+
+func TestWriteFigure5CSV(t *testing.T) {
+	res := Figure5Result{
+		Spec:    FigureSpec{ID: "fig5a"},
+		Engines: []EngineKind{KindOdyssey, KindGrid1fE},
+		Series: map[EngineKind][]time.Duration{
+			KindOdyssey: {time.Millisecond, 2 * time.Millisecond},
+			KindGrid1fE: {3 * time.Millisecond},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure5CSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d records", len(recs))
+	}
+	// Row for query 1: Grid's series is shorter, so its column is blank.
+	if recs[2][2] != "0.002000" || recs[2][3] != "" {
+		t.Fatalf("unexpected row: %v", recs[2])
+	}
+}
+
+func TestWriteFigure5cCSV(t *testing.T) {
+	res := Figure5cResult{
+		WithMerge:    []time.Duration{time.Millisecond, time.Millisecond},
+		WithoutMerge: []time.Duration{2 * time.Millisecond, 2 * time.Millisecond},
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure5cCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "odyssey_s") || strings.Count(out, "\n") != 3 {
+		t.Fatalf("csv output:\n%s", out)
+	}
+}
+
+func TestPrintFigure5IncludesPercentiles(t *testing.T) {
+	res := Figure5Result{
+		Spec:    FigureSpec{ID: "fig5a"},
+		Engines: []EngineKind{KindOdyssey},
+		Series: map[EngineKind][]time.Duration{
+			KindOdyssey: make([]time.Duration, 100),
+		},
+	}
+	var buf bytes.Buffer
+	PrintFigure5(&buf, res)
+	for _, want := range []string{"p50", "p95", "p99"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("output missing %s:\n%s", want, buf.String())
+		}
+	}
+}

@@ -1,0 +1,482 @@
+package core
+
+import (
+	"fmt"
+
+	"spaceodyssey/internal/geom"
+	"spaceodyssey/internal/object"
+	"spaceodyssey/internal/octree"
+	"spaceodyssey/internal/pagefile"
+	"spaceodyssey/internal/simdisk"
+)
+
+// Relation classifies a merge-file lookup (§3.2.3).
+type Relation int
+
+const (
+	// RelNone — no usable merge file; individual files serve the query.
+	RelNone Relation = iota
+	// RelExact — a merge file for exactly the queried combination.
+	RelExact
+	// RelSuperset — a merge file containing more datasets than requested;
+	// unneeded segments are skipped during the sequential read.
+	RelSuperset
+	// RelSubset — a merge file covering part of the requested datasets; the
+	// remainder comes from individual files.
+	RelSubset
+)
+
+// String implements fmt.Stringer.
+func (r Relation) String() string {
+	switch r {
+	case RelNone:
+		return "none"
+	case RelExact:
+		return "exact"
+	case RelSuperset:
+		return "superset"
+	case RelSubset:
+		return "subset"
+	}
+	return fmt.Sprintf("Relation(%d)", int(r))
+}
+
+// segment locates one dataset's objects for one partition. Normally it
+// points into the merge file's own pages; with segment sharing enabled it
+// may reference another merge file that already stores the same partition
+// copy (§3.2.5's improved disk space management).
+type segment struct {
+	run pagefile.Run
+	// sharedFrom, when non-empty, names the merge file actually holding
+	// the pages.
+	sharedFrom ComboKey
+}
+
+// MergeFile stores copies of partitions from the datasets of one
+// combination so they can be read together sequentially (§3.2.2). For each
+// partition key, the objects of every member dataset are laid out one after
+// another; the file is append-only.
+type MergeFile struct {
+	combo    ComboKey
+	members  []object.DatasetID
+	memberOf map[object.DatasetID]bool
+	file     *pagefile.File
+	entries  map[octree.Key]map[object.DatasetID]segment
+	lastUsed int64
+}
+
+// Combo returns the combination the file was merged for.
+func (m *MergeFile) Combo() ComboKey { return m.combo }
+
+// Members returns the datasets stored in the file.
+func (m *MergeFile) Members() []object.DatasetID { return m.members }
+
+// NumEntries returns the number of merged partitions.
+func (m *MergeFile) NumEntries() int { return len(m.entries) }
+
+// Pages returns the file size in pages.
+func (m *MergeFile) Pages() int64 {
+	n, err := m.file.NumPages()
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// covering returns the merge entry whose cell contains key (walking the
+// ancestor chain), if any.
+func (m *MergeFile) covering(key octree.Key, fanout int) (octree.Key, bool) {
+	for lvl := int(key.Level); lvl >= 1; lvl-- {
+		anc := key.Ancestor(uint8(lvl), fanout)
+		if _, ok := m.entries[anc]; ok {
+			return anc, true
+		}
+	}
+	return octree.Key{}, false
+}
+
+// MergerConfig tunes the Merger.
+type MergerConfig struct {
+	// MergeThreshold is mt: a combination is merged once it has been
+	// queried this many times. Paper default: 2.
+	MergeThreshold int
+	// MinCombination is the minimum |C| worth merging. Paper default: 3.
+	MinCombination int
+	// SpaceBudgetPages caps the total size of all merge files; exceeding it
+	// evicts least-recently-used merge files (§3.2.4). 0 = unlimited.
+	SpaceBudgetPages int64
+	// LevelPolicy selects the strategy for partitions at different
+	// refinement levels (§3.2.5). Default SameLevel (the paper's rule).
+	LevelPolicy LevelPolicy
+	// ShareSegments avoids copying a dataset's partition again when
+	// another merge file already stores it, referencing those pages
+	// instead (§3.2.5's improved disk space management). Reading a shared
+	// segment jumps to the other file, costing one extra seek.
+	ShareSegments bool
+	// AdaptiveThresholds enables the runtime cost model of §3.2.5: every
+	// AdaptEvery queries the merger compares how often merged segments are
+	// reused against how much was copied, and adjusts mt within
+	// [MergeThreshold, MaxMergeThreshold] — raising it when merges do not
+	// pay off, lowering it when they do.
+	AdaptiveThresholds bool
+	// AdaptEvery is the adaptation period in queries (default 50).
+	AdaptEvery int
+	// MaxMergeThreshold bounds adaptive mt growth (default 8).
+	MaxMergeThreshold int
+}
+
+// Merger owns the merge files and the directory that maps combinations to
+// them (§3.2).
+type Merger struct {
+	cfg       MergerConfig
+	dev       *simdisk.Device
+	files     map[ComboKey]*MergeFile
+	tick      int64
+	currentMT int // effective merge threshold (adapts when enabled)
+
+	// segIndex maps (entry key, dataset) to the merge file owning a copy,
+	// for segment sharing.
+	segIndex map[segRef]ComboKey
+
+	// adaptation bookkeeping
+	queriesSeen     int
+	segmentsWritten int
+	segmentsRead    int
+
+	// MergesCreated, PartitionsMerged, Evictions, SegmentsShared,
+	// ThresholdRaises and ThresholdDrops are lifetime counters.
+	MergesCreated    int
+	PartitionsMerged int
+	Evictions        int
+	SegmentsShared   int
+	ThresholdRaises  int
+	ThresholdDrops   int
+}
+
+// segRef identifies one dataset's copy of one partition across all merge
+// files.
+type segRef struct {
+	key octree.Key
+	ds  object.DatasetID
+}
+
+// NewMerger returns an empty merger.
+func NewMerger(dev *simdisk.Device, cfg MergerConfig) *Merger {
+	if cfg.MergeThreshold <= 0 {
+		cfg.MergeThreshold = 2
+	}
+	if cfg.MinCombination <= 0 {
+		cfg.MinCombination = 3
+	}
+	if cfg.AdaptEvery <= 0 {
+		cfg.AdaptEvery = 50
+	}
+	if cfg.MaxMergeThreshold <= 0 {
+		cfg.MaxMergeThreshold = 8
+	}
+	return &Merger{
+		cfg:       cfg,
+		dev:       dev,
+		files:     make(map[ComboKey]*MergeFile),
+		currentMT: cfg.MergeThreshold,
+		segIndex:  make(map[segRef]ComboKey),
+	}
+}
+
+// Config returns the effective configuration.
+func (m *Merger) Config() MergerConfig { return m.cfg }
+
+// Threshold returns the current (possibly adapted) merge threshold mt.
+func (m *Merger) Threshold() int { return m.currentMT }
+
+// OnQuery advances the adaptation clock; the engine calls it once per
+// query. When adaptation is enabled, every AdaptEvery queries the merger
+// compares segment reuse (reads per written segment) and nudges mt: reuse
+// below 1 means copies are rarely read back — merge more conservatively;
+// reuse above 4 means merging pays — merge eagerly.
+func (m *Merger) OnQuery() {
+	if !m.cfg.AdaptiveThresholds {
+		return
+	}
+	m.queriesSeen++
+	if m.queriesSeen%m.cfg.AdaptEvery != 0 || m.segmentsWritten == 0 {
+		return
+	}
+	reuse := float64(m.segmentsRead) / float64(m.segmentsWritten)
+	switch {
+	case reuse < 1 && m.currentMT < m.cfg.MaxMergeThreshold:
+		m.currentMT++
+		m.ThresholdRaises++
+	case reuse > 4 && m.currentMT > m.cfg.MergeThreshold:
+		m.currentMT--
+		m.ThresholdDrops++
+	}
+}
+
+// NumFiles returns how many merge files exist.
+func (m *Merger) NumFiles() int { return len(m.files) }
+
+// TotalPages returns the disk space merge files currently occupy.
+func (m *Merger) TotalPages() int64 {
+	var n int64
+	for _, f := range m.files {
+		n += f.Pages()
+	}
+	return n
+}
+
+// Lookup applies the paper's routing: exact combination first, then the
+// smallest superset, then the subset covering the most requested datasets.
+func (m *Merger) Lookup(datasets []object.DatasetID) (*MergeFile, Relation) {
+	key := KeyOf(datasets)
+	if f, ok := m.files[key]; ok {
+		f.lastUsed = m.bump()
+		return f, RelExact
+	}
+	want := make(map[object.DatasetID]bool, len(datasets))
+	for _, ds := range datasets {
+		want[ds] = true
+	}
+	var best *MergeFile
+	bestRel := RelNone
+	for _, f := range m.files {
+		super, sub := true, true
+		for _, ds := range datasets {
+			if !f.memberOf[ds] {
+				super = false
+				break
+			}
+		}
+		for _, ds := range f.members {
+			if !want[ds] {
+				sub = false
+				break
+			}
+		}
+		switch {
+		case super:
+			// Prefer the smallest superset (fewest segments to skip); any
+			// superset beats any subset.
+			if bestRel != RelSuperset || len(f.members) < len(best.members) {
+				best, bestRel = f, RelSuperset
+			}
+		case sub && bestRel != RelSuperset:
+			// Prefer the subset holding the most requested datasets.
+			if bestRel != RelSubset || len(f.members) > len(best.members) {
+				best, bestRel = f, RelSubset
+			}
+		}
+	}
+	if best != nil {
+		best.lastUsed = m.bump()
+	}
+	return best, bestRel
+}
+
+// MergeOrExtend creates the merge file for the combination if the
+// thresholds allow, and appends every qualifying partition from candidates
+// that is not already covered. Qualification follows the configured
+// LevelPolicy — by default the paper's same-refinement-level rule. Returns
+// the number of partitions appended.
+func (m *Merger) MergeOrExtend(
+	key ComboKey,
+	datasets []object.DatasetID,
+	candidates []octree.Key,
+	trees map[object.DatasetID]*octree.Tree,
+) (int, error) {
+	if len(datasets) < m.cfg.MinCombination {
+		return 0, nil
+	}
+	mf := m.files[key]
+	fanout := 0
+	for _, t := range trees {
+		fanout = t.FanoutPerDim()
+		break
+	}
+
+	appended := 0
+	for _, cand := range candidates {
+		if mf != nil {
+			if _, covered := mf.covering(cand, fanout); covered {
+				continue
+			}
+		}
+		job, ok := m.planJob(cand, datasets, trees)
+		if !ok {
+			continue
+		}
+		if mf != nil {
+			// The policy may have lifted or kept the key; re-check both
+			// directions against existing entries to keep them disjoint.
+			if _, covered := mf.covering(job.key, fanout); covered {
+				continue
+			}
+			if overlapsEntry(mf, job.key, fanout) {
+				continue
+			}
+		}
+		if mf == nil {
+			mf = m.newMergeFile(key, datasets)
+		}
+		if err := m.appendJob(mf, datasets, job); err != nil {
+			return appended, err
+		}
+		appended++
+	}
+	if mf != nil {
+		mf.lastUsed = m.bump()
+	}
+	return appended, nil
+}
+
+// newMergeFile registers an empty merge file for the combination.
+func (m *Merger) newMergeFile(key ComboKey, datasets []object.DatasetID) *MergeFile {
+	members := append([]object.DatasetID(nil), datasets...)
+	memberOf := make(map[object.DatasetID]bool, len(members))
+	for _, ds := range members {
+		memberOf[ds] = true
+	}
+	mf := &MergeFile{
+		combo:    key,
+		members:  members,
+		memberOf: memberOf,
+		file:     pagefile.Create(m.dev, "merge:"+string(key)),
+		entries:  make(map[octree.Key]map[object.DatasetID]segment),
+	}
+	m.files[key] = mf
+	m.MergesCreated++
+	return mf
+}
+
+// appendJob copies one partition into the merge file: for every member
+// dataset (in order) the objects are read from the original partitions and
+// appended back to back (§3.2.2's layout) — unless another merge file
+// already holds that exact copy and sharing is enabled.
+func (m *Merger) appendJob(mf *MergeFile, datasets []object.DatasetID, job mergeJob) error {
+	segs := make(map[object.DatasetID]segment, len(datasets))
+	for i, ds := range datasets {
+		ref := segRef{key: job.key, ds: ds}
+		if m.cfg.ShareSegments {
+			if owner, ok := m.segIndex[ref]; ok && owner != mf.combo {
+				if ownerFile, live := m.files[owner]; live {
+					seg, ok := ownerFile.entries[job.key][ds]
+					if ok && seg.sharedFrom == "" {
+						segs[ds] = segment{run: seg.run, sharedFrom: owner}
+						m.SegmentsShared++
+						continue
+					}
+				}
+			}
+		}
+		objs, err := job.readers[i]()
+		if err != nil {
+			return fmt.Errorf("merge read %v ds %d: %w", job.key, ds, err)
+		}
+		run, err := mf.file.AppendObjects(objs)
+		if err != nil {
+			return fmt.Errorf("merge write %v ds %d: %w", job.key, ds, err)
+		}
+		segs[ds] = segment{run: run}
+		m.segmentsWritten++
+		if _, taken := m.segIndex[ref]; !taken {
+			m.segIndex[ref] = mf.combo
+		}
+	}
+	mf.entries[job.key] = segs
+	m.PartitionsMerged++
+	return nil
+}
+
+// ReadSegment reads the objects of one dataset for one merged partition,
+// following a shared-segment reference when present.
+func (m *Merger) ReadSegment(mf *MergeFile, key octree.Key, ds object.DatasetID) ([]object.Object, error) {
+	segs, ok := mf.entries[key]
+	if !ok {
+		return nil, fmt.Errorf("merge file %s has no entry %v", mf.combo, key)
+	}
+	seg, ok := segs[ds]
+	if !ok {
+		return nil, fmt.Errorf("merge file %s entry %v has no dataset %d", mf.combo, key, ds)
+	}
+	mf.lastUsed = m.bump()
+	m.segmentsRead++
+	file := mf.file
+	if seg.sharedFrom != "" {
+		owner, live := m.files[seg.sharedFrom]
+		if !live {
+			return nil, fmt.Errorf("merge file %s entry %v: shared owner %s evicted",
+				mf.combo, key, seg.sharedFrom)
+		}
+		owner.lastUsed = m.bump()
+		file = owner.file
+	}
+	return file.ReadRun(seg.run)
+}
+
+// EnforceBudget evicts least-recently-used merge files until the space
+// budget is met (§3.2.4). It returns the evicted combinations so the engine
+// can reset their statistics.
+func (m *Merger) EnforceBudget() ([]ComboKey, error) {
+	if m.cfg.SpaceBudgetPages <= 0 {
+		return nil, nil
+	}
+	var evicted []ComboKey
+	for m.TotalPages() > m.cfg.SpaceBudgetPages && len(m.files) > 0 {
+		var victim *MergeFile
+		for _, f := range m.files {
+			if victim == nil || f.lastUsed < victim.lastUsed {
+				victim = f
+			}
+		}
+		if err := victim.file.Delete(); err != nil {
+			return evicted, fmt.Errorf("evict %s: %w", victim.combo, err)
+		}
+		delete(m.files, victim.combo)
+		m.dropReferencesTo(victim.combo)
+		evicted = append(evicted, victim.combo)
+		m.Evictions++
+	}
+	return evicted, nil
+}
+
+// dropReferencesTo removes segment-index ownership of an evicted file and
+// invalidates entries in other files that shared its pages (they lose
+// coverage and will re-merge on demand).
+func (m *Merger) dropReferencesTo(owner ComboKey) {
+	for ref, who := range m.segIndex {
+		if who == owner {
+			delete(m.segIndex, ref)
+		}
+	}
+	for _, f := range m.files {
+		for key, segs := range f.entries {
+			for _, seg := range segs {
+				if seg.sharedFrom == owner {
+					delete(f.entries, key)
+					break
+				}
+			}
+		}
+	}
+}
+
+// Box returns the spatial cell of a merged entry key within bounds (for
+// diagnostics). fanout is the per-dimension fanout of the trees.
+func EntryBox(bounds geom.Box, key octree.Key, fanout int) geom.Box {
+	cellsPerDim := 1
+	for i := uint8(0); i < key.Level; i++ {
+		cellsPerDim *= fanout
+	}
+	size := bounds.Size().Div(float64(cellsPerDim))
+	min := bounds.Min.Add(geom.Vec{
+		X: size.X * float64(key.X),
+		Y: size.Y * float64(key.Y),
+		Z: size.Z * float64(key.Z),
+	})
+	return geom.NewBox(min, min.Add(size))
+}
+
+func (m *Merger) bump() int64 {
+	m.tick++
+	return m.tick
+}

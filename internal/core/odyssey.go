@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"spaceodyssey/internal/geom"
+	"spaceodyssey/internal/object"
+	"spaceodyssey/internal/octree"
+	"spaceodyssey/internal/rawfile"
+	"spaceodyssey/internal/simdisk"
+)
+
+// Config assembles the engine parameters (paper defaults throughout).
+type Config struct {
+	// Octree configures the incremental indexing (rt, ppl).
+	Octree octree.Config
+	// Merger configures merging (mt, |C| minimum, space budget).
+	Merger MergerConfig
+	// DisableMerging turns the Merger off — the paper's "Odyssey w/o
+	// merging" ablation (Figure 5c).
+	DisableMerging bool
+}
+
+// DefaultConfig returns the paper's configuration: rt=4, ppl=64, mt=2,
+// |C| >= 3, unlimited merge space.
+func DefaultConfig() Config {
+	return Config{
+		Octree: octree.DefaultConfig(),
+		Merger: MergerConfig{MergeThreshold: 2, MinCombination: 3},
+	}
+}
+
+// PhaseTimes breaks the engine's simulated time down by activity — the
+// adaptive analogue of the paper's indexing/querying split for static
+// engines (Figure 4's stacked bars).
+type PhaseTimes struct {
+	// LevelZeroBuild is the in-situ first-touch partitioning of raw files.
+	LevelZeroBuild time.Duration
+	// Refinement is the read-split-rewrite I/O of the Adaptor.
+	Refinement time.Duration
+	// TreeReads is time reading partitions from individual dataset files.
+	TreeReads time.Duration
+	// MergeReads is time reading segments from merge files.
+	MergeReads time.Duration
+	// MergeWrites is the Merger's copy I/O (reads of originals included).
+	MergeWrites time.Duration
+}
+
+// Total sums all phases.
+func (p PhaseTimes) Total() time.Duration {
+	return p.LevelZeroBuild + p.Refinement + p.TreeReads + p.MergeReads + p.MergeWrites
+}
+
+// Metrics aggregates engine activity for reporting.
+type Metrics struct {
+	Queries             int
+	Refinements         int
+	TreesBuilt          int
+	PartitionsFromTree  int
+	PartitionsFromMerge int
+	MergeFilesCreated   int
+	PartitionsMerged    int
+	MergeEvictions      int
+	SegmentsShared      int
+	CurrentMergeThresh  int
+	RelationCounts      map[Relation]int
+	Phases              PhaseTimes
+}
+
+// Odyssey is the Space Odyssey engine: adaptive per-dataset octrees plus
+// cross-dataset merge files, orchestrated by the query processor in Query.
+type Odyssey struct {
+	dev    *simdisk.Device
+	cfg    Config
+	bounds geom.Box
+	trees  map[object.DatasetID]*octree.Tree
+	stats  *Collector
+	merger *Merger
+
+	queries        int
+	partsFromTree  int
+	partsFromMerge int
+	relationCounts map[Relation]int
+	phases         PhaseTimes
+}
+
+// New creates the engine over the given raw files. Nothing is indexed until
+// queries arrive.
+func New(dev *simdisk.Device, raws []*rawfile.Raw, bounds geom.Box, cfg Config) (*Odyssey, error) {
+	trees := make(map[object.DatasetID]*octree.Tree, len(raws))
+	for _, raw := range raws {
+		if _, dup := trees[raw.Dataset()]; dup {
+			return nil, fmt.Errorf("core: duplicate dataset %d", raw.Dataset())
+		}
+		tree, err := octree.New(dev, raw, bounds, cfg.Octree)
+		if err != nil {
+			return nil, err
+		}
+		trees[raw.Dataset()] = tree
+	}
+	return &Odyssey{
+		dev:            dev,
+		cfg:            cfg,
+		bounds:         bounds,
+		trees:          trees,
+		stats:          NewCollector(),
+		merger:         NewMerger(dev, cfg.Merger),
+		relationCounts: make(map[Relation]int),
+	}, nil
+}
+
+// AddRaw registers one more raw dataset with the engine. The dataset is
+// indexed lazily like any other; adding is cheap and can happen at any
+// point of the exploration session.
+func (o *Odyssey) AddRaw(raw *rawfile.Raw) error {
+	if _, dup := o.trees[raw.Dataset()]; dup {
+		return fmt.Errorf("core: duplicate dataset %d", raw.Dataset())
+	}
+	tree, err := octree.New(o.dev, raw, o.bounds, o.cfg.Octree)
+	if err != nil {
+		return err
+	}
+	o.trees[raw.Dataset()] = tree
+	return nil
+}
+
+// Name implements engine.Engine.
+func (o *Odyssey) Name() string {
+	if o.cfg.DisableMerging {
+		return "Odyssey-NoMerge"
+	}
+	return "Odyssey"
+}
+
+// Build implements engine.Engine. Space Odyssey never indexes up front;
+// indexing happens incrementally during Query.
+func (o *Odyssey) Build() error { return nil }
+
+// Tree returns the incremental index of one dataset (nil if unknown).
+func (o *Odyssey) Tree(ds object.DatasetID) *octree.Tree { return o.trees[ds] }
+
+// Merger exposes the merger for inspection.
+func (o *Odyssey) Merger() *Merger { return o.merger }
+
+// Stats exposes the statistics collector for inspection.
+func (o *Odyssey) Stats() *Collector { return o.stats }
+
+// Metrics returns a snapshot of the engine counters.
+func (o *Odyssey) Metrics() Metrics {
+	refinements := 0
+	built := 0
+	for _, t := range o.trees {
+		refinements += t.Refinements
+		if t.Built() {
+			built++
+		}
+	}
+	rel := make(map[Relation]int, len(o.relationCounts))
+	for k, v := range o.relationCounts {
+		rel[k] = v
+	}
+	return Metrics{
+		Queries:             o.queries,
+		Refinements:         refinements,
+		TreesBuilt:          built,
+		PartitionsFromTree:  o.partsFromTree,
+		PartitionsFromMerge: o.partsFromMerge,
+		MergeFilesCreated:   o.merger.MergesCreated,
+		PartitionsMerged:    o.merger.PartitionsMerged,
+		MergeEvictions:      o.merger.Evictions,
+		SegmentsShared:      o.merger.SegmentsShared,
+		CurrentMergeThresh:  o.merger.Threshold(),
+		RelationCounts:      rel,
+		Phases:              o.phases,
+	}
+}
+
+// Query implements engine.Engine: it executes the paper's full pipeline —
+// statistics, merge-file routing (exact / superset / subset / none),
+// incremental indexing with per-query refinement, merge-file reads, and the
+// post-query merge step.
+func (o *Odyssey) Query(q geom.Box, datasets []object.DatasetID) ([]object.Object, error) {
+	o.queries++
+	ordered := append([]object.DatasetID(nil), datasets...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	for _, ds := range ordered {
+		if o.trees[ds] == nil {
+			return nil, fmt.Errorf("core: unknown dataset %d", ds)
+		}
+	}
+	key := KeyOf(ordered)
+	count := o.stats.RecordQuery(key)
+
+	// Merge-file routing (§3.2.3).
+	var mf *MergeFile
+	rel := RelNone
+	if !o.cfg.DisableMerging {
+		mf, rel = o.merger.Lookup(ordered)
+	}
+	o.relationCounts[rel]++
+
+	// Per-dataset execution through the Adaptor. Partitions covered by the
+	// chosen merge file are served from it (and, per §3.2.2, not refined).
+	type mergeRead struct {
+		entry octree.Key
+		ds    object.DatasetID
+	}
+	servedSet := make(map[mergeRead]bool)
+	servedLeaves := 0
+	var out []object.Object
+	var touched []octree.Key
+	for _, ds := range ordered {
+		tree := o.trees[ds]
+		var hook func(*octree.Partition) bool
+		if mf != nil && mf.memberOf[ds] {
+			ds := ds
+			fanout := tree.FanoutPerDim()
+			hook = func(p *octree.Partition) bool {
+				entry, ok := mf.covering(p.Key(), fanout)
+				if !ok {
+					return false
+				}
+				servedSet[mergeRead{entry, ds}] = true
+				servedLeaves++
+				return true
+			}
+		}
+		res, err := tree.Query(q, hook)
+		if err != nil {
+			return nil, fmt.Errorf("core: dataset %d: %w", ds, err)
+		}
+		o.phases.LevelZeroBuild += res.BuildTime
+		o.phases.Refinement += res.RefineTime
+		o.phases.TreeReads += res.ReadTime
+		out = append(out, res.Objects...)
+		for _, p := range res.Touched {
+			touched = append(touched, p.Key())
+		}
+	}
+
+	// Read the merge-file segments, ordered by file position so the device
+	// sees a (mostly) sequential pass over the merge file.
+	if len(servedSet) > 0 {
+		reads := make([]mergeRead, 0, len(servedSet))
+		for r := range servedSet {
+			reads = append(reads, r)
+		}
+		sort.Slice(reads, func(i, j int) bool {
+			a := mf.entries[reads[i].entry][reads[i].ds].run.Start
+			b := mf.entries[reads[j].entry][reads[j].ds].run.Start
+			return a < b
+		})
+		t0 := o.dev.Clock()
+		for _, r := range reads {
+			objs, err := o.merger.ReadSegment(mf, r.entry, r.ds)
+			if err != nil {
+				return nil, err
+			}
+			for _, obj := range objs {
+				if obj.Intersects(q) {
+					out = append(out, obj)
+				}
+			}
+		}
+		o.phases.MergeReads += o.dev.Clock() - t0
+		o.partsFromMerge += len(reads)
+	}
+	o.partsFromTree += len(touched) - servedLeaves
+	o.stats.RecordPartitions(key, touched)
+
+	// Post-query merge step (§3.2.1): once the combination crossed mt,
+	// merge (or extend the merge file with) every qualifying partition.
+	o.merger.OnQuery()
+	if !o.cfg.DisableMerging && count >= o.merger.Threshold() {
+		t0 := o.dev.Clock()
+		if _, err := o.merger.MergeOrExtend(key, ordered, o.stats.Partitions(key), o.trees); err != nil {
+			return nil, err
+		}
+		evicted, err := o.merger.EnforceBudget()
+		if err != nil {
+			return nil, err
+		}
+		for _, combo := range evicted {
+			o.stats.Reset(combo)
+		}
+		o.phases.MergeWrites += o.dev.Clock() - t0
+	}
+	return out, nil
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"spaceodyssey/internal/engine"
+	"spaceodyssey/internal/geom"
+	"spaceodyssey/internal/object"
+	"spaceodyssey/internal/octree"
+)
+
+func TestLevelPolicyString(t *testing.T) {
+	want := map[LevelPolicy]string{
+		SameLevel: "same-level", RefineToFinest: "refine-to-finest",
+		CoarsestCover: "coarsest-cover",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), s)
+		}
+	}
+	if LevelPolicy(9).String() != "LevelPolicy(9)" {
+		t.Error("unknown policy name wrong")
+	}
+}
+
+// divergeTrees queries dataset 0 alone so its tree refines deeper than the
+// others in the hot area, then returns the 3-dataset combination query.
+func divergeTrees(t *testing.T, eng *Odyssey, q geom.Box) {
+	t.Helper()
+	for i := 0; i < 4; i++ {
+		if _, err := eng.Query(q, []object.DatasetID{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRefineToFinestMergesDivergedTrees(t *testing.T) {
+	mk := func(policy LevelPolicy) (*Odyssey, int) {
+		cfg := DefaultConfig()
+		cfg.Merger.LevelPolicy = policy
+		eng, _, _ := testSetup(t, 3, 2500, 21, cfg)
+		q := geom.Cube(geom.V(0.6, 0.6, 0.6), 0.03)
+		divergeTrees(t, eng, q)
+		dss := []object.DatasetID{0, 1, 2}
+		for i := 0; i < 3; i++ {
+			if _, err := eng.Query(q, dss); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return eng, eng.Merger().PartitionsMerged
+	}
+	_, samePartitions := mk(SameLevel)
+	engFinest, finestPartitions := mk(RefineToFinest)
+	// RefineToFinest must merge at least as much as SameLevel on diverged
+	// trees, typically more (the lagging trees get refined to match).
+	if finestPartitions < samePartitions {
+		t.Fatalf("refine-to-finest merged %d partitions, same-level %d",
+			finestPartitions, samePartitions)
+	}
+	if finestPartitions == 0 {
+		t.Fatal("refine-to-finest merged nothing on a hot combination")
+	}
+	// Results must stay exact.
+	q := geom.Cube(geom.V(0.6, 0.6, 0.6), 0.03)
+	got, err := engFinest.Query(q, []object.DatasetID{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Skip("query region empty for this seed; correctness covered below")
+	}
+}
+
+// policyOracleCheck runs a randomized workload under the given policy and
+// compares every result against the naive oracle.
+func policyOracleCheck(t *testing.T, policy LevelPolicy, seed int64) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Merger.LevelPolicy = policy
+	eng, raws, _ := testSetup(t, 4, 2000, seed, cfg)
+	oracle := engine.NewNaiveScan(raws)
+	r := rand.New(rand.NewSource(seed + 1))
+	hot := geom.V(0.4, 0.4, 0.4)
+	for trial := 0; trial < 60; trial++ {
+		var c geom.Vec
+		if r.Intn(3) > 0 {
+			c = geom.V(hot.X+r.NormFloat64()*0.03, hot.Y+r.NormFloat64()*0.03, hot.Z+r.NormFloat64()*0.03)
+		} else {
+			c = geom.V(r.Float64(), r.Float64(), r.Float64())
+		}
+		q, ok := geom.Cube(c, 0.01+r.Float64()*0.05).Clip(geom.UnitBox())
+		if !ok || q.Volume() == 0 {
+			continue
+		}
+		k := 1 + r.Intn(4)
+		seen := map[object.DatasetID]bool{}
+		var dss []object.DatasetID
+		for len(dss) < k {
+			ds := object.DatasetID(r.Intn(4))
+			if !seen[ds] {
+				seen[ds] = true
+				dss = append(dss, ds)
+			}
+		}
+		got, err := eng.Query(q, dss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := oracle.Query(q, dss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !engine.SameObjects(got, want) {
+			t.Fatalf("%v trial %d: %d objects, oracle %d", policy, trial, len(got), len(want))
+		}
+	}
+}
+
+func TestRefineToFinestMatchesOracle(t *testing.T) { policyOracleCheck(t, RefineToFinest, 22) }
+func TestCoarsestCoverMatchesOracle(t *testing.T)  { policyOracleCheck(t, CoarsestCover, 23) }
+
+func TestCoarsestCoverEntriesDisjoint(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Merger.LevelPolicy = CoarsestCover
+	eng, _, _ := testSetup(t, 3, 2500, 24, cfg)
+	q := geom.Cube(geom.V(0.5, 0.5, 0.5), 0.04)
+	divergeTrees(t, eng, q)
+	dss := []object.DatasetID{0, 1, 2}
+	for i := 0; i < 4; i++ {
+		if _, err := eng.Query(q, dss); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mf := eng.Merger().files[KeyOf(dss)]
+	if mf == nil {
+		t.Skip("no merge file created for this layout")
+	}
+	fanout := eng.Tree(0).FanoutPerDim()
+	keys := make([]octree.Key, 0, len(mf.entries))
+	for k := range mf.entries {
+		keys = append(keys, k)
+	}
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[i].AncestorOf(keys[j], fanout) || keys[j].AncestorOf(keys[i], fanout) {
+				t.Fatalf("overlapping merge entries %v and %v", keys[i], keys[j])
+			}
+		}
+	}
+}

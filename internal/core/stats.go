@@ -1,0 +1,107 @@
+// Package core implements Space Odyssey itself: the Query Processor that
+// orchestrates query execution, the Adaptor (incremental per-dataset
+// octrees, package octree), the Statistics Collector that tracks which
+// dataset combinations are queried together and which partitions they
+// touch, and the Merger that reorganizes the disk layout by copying
+// partitions of frequently co-queried datasets into sequential merge files.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spaceodyssey/internal/object"
+	"spaceodyssey/internal/octree"
+)
+
+// ComboKey canonically identifies a combination of datasets (sorted,
+// comma-separated ids).
+type ComboKey string
+
+// KeyOf returns the canonical key for a set of datasets.
+func KeyOf(datasets []object.DatasetID) ComboKey {
+	ids := append([]object.DatasetID(nil), datasets...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var b strings.Builder
+	for i, ds := range ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", ds)
+	}
+	return ComboKey(b.String())
+}
+
+// Collector is the Statistics Collector of Figure 1: it records, per
+// combination C, (1) how often C has been queried and (2) which partitions
+// have been retrieved in the context of C.
+type Collector struct {
+	counts     map[ComboKey]int
+	partitions map[ComboKey]map[octree.Key]struct{}
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		counts:     make(map[ComboKey]int),
+		partitions: make(map[ComboKey]map[octree.Key]struct{}),
+	}
+}
+
+// RecordQuery increments the retrieval count of the combination and returns
+// the new count.
+func (c *Collector) RecordQuery(key ComboKey) int {
+	c.counts[key]++
+	return c.counts[key]
+}
+
+// RecordPartitions adds the partitions a query touched to the combination's
+// accumulated set.
+func (c *Collector) RecordPartitions(key ComboKey, parts []octree.Key) {
+	set, ok := c.partitions[key]
+	if !ok {
+		set = make(map[octree.Key]struct{})
+		c.partitions[key] = set
+	}
+	for _, p := range parts {
+		set[p] = struct{}{}
+	}
+}
+
+// Count returns how many times the combination has been queried.
+func (c *Collector) Count(key ComboKey) int { return c.counts[key] }
+
+// Partitions returns the accumulated partition keys of the combination in a
+// deterministic order.
+func (c *Collector) Partitions(key ComboKey) []octree.Key {
+	set := c.partitions[key]
+	out := make([]octree.Key, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Level != b.Level {
+			return a.Level < b.Level
+		}
+		if a.Z != b.Z {
+			return a.Z < b.Z
+		}
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		return a.X < b.X
+	})
+	return out
+}
+
+// Reset clears the statistics of one combination (used after a merge file
+// for it is evicted, so it must re-earn merging).
+func (c *Collector) Reset(key ComboKey) {
+	delete(c.counts, key)
+	delete(c.partitions, key)
+}
+
+// Combinations returns the number of distinct combinations seen.
+func (c *Collector) Combinations() int { return len(c.counts) }

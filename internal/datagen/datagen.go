@@ -1,0 +1,246 @@
+// Package datagen synthesizes the spatial datasets the experiments run on.
+//
+// The paper uses 10 real Human Brain Project datasets: subsets of neurons
+// (3D surface meshes) inside the same brain volume, ~5 GB each. We cannot
+// ship that data, so this package generates the closest synthetic
+// equivalent: datasets of small axis-aligned objects whose centers follow a
+// clustered spatial distribution (neuron morphologies concentrate in
+// columns and layers), all sharing one bounding "brain" volume. The object
+// schema (id, dataset, center, extent) and the spatial skew — which drive
+// octree refinement and merge-file behaviour — are preserved; absolute
+// sizes are scaled by NumObjects so experiments run anywhere.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spaceodyssey/internal/geom"
+	"spaceodyssey/internal/object"
+)
+
+// Layout selects the spatial distribution of object centers.
+type Layout int
+
+const (
+	// Clustered concentrates objects around Gaussian cluster centers —
+	// the neuroscience-like default.
+	Clustered Layout = iota
+	// Uniform spreads objects uniformly over the volume.
+	Uniform
+	// Filamentary strings objects along random line segments, approximating
+	// elongated structures (axons, astronomy filaments).
+	Filamentary
+)
+
+// String implements fmt.Stringer.
+func (l Layout) String() string {
+	switch l {
+	case Clustered:
+		return "clustered"
+	case Uniform:
+		return "uniform"
+	case Filamentary:
+		return "filamentary"
+	}
+	return fmt.Sprintf("Layout(%d)", int(l))
+}
+
+// Config parametrizes dataset generation.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// NumObjects is the number of objects per dataset.
+	NumObjects int
+	// Bounds is the shared volume (the "brain"); defaults to [0,1]^3.
+	Bounds geom.Box
+	// Layout selects the spatial distribution (default Clustered).
+	Layout Layout
+	// Clusters is the number of spatial clusters (Clustered/Filamentary);
+	// default 20.
+	Clusters int
+	// ClusterSigmaFrac is the Gaussian sigma of a cluster as a fraction of
+	// the volume's longest side; default 0.03.
+	ClusterSigmaFrac float64
+	// ObjectSizeFrac is the mean object half-extent as a fraction of the
+	// volume's longest side; default 0.001 (tiny mesh fragments).
+	ObjectSizeFrac float64
+	// SizeJitter is the multiplicative jitter on object size in [0,1);
+	// default 0.5.
+	SizeJitter float64
+	// BackgroundFrac is the fraction of objects placed uniformly regardless
+	// of Layout, modelling diffuse tissue between clusters; default 0.2 for
+	// Clustered/Filamentary, ignored for Uniform. Set negative to disable.
+	BackgroundFrac float64
+	// ClusterSeed, when non-zero, fixes the cluster (or filament) positions
+	// independently of Seed. Datasets generated with the same ClusterSeed
+	// share their anatomy — like the paper's captures of the same brain by
+	// different instruments — while object placement still varies by Seed.
+	ClusterSeed int64
+}
+
+// withDefaults fills zero fields with defaults.
+func (c Config) withDefaults() Config {
+	if c.Bounds.Volume() == 0 {
+		c.Bounds = geom.UnitBox()
+	}
+	if c.NumObjects < 0 {
+		c.NumObjects = 0
+	}
+	if c.Clusters <= 0 {
+		c.Clusters = 20
+	}
+	if c.ClusterSigmaFrac <= 0 {
+		c.ClusterSigmaFrac = 0.03
+	}
+	if c.ObjectSizeFrac <= 0 {
+		c.ObjectSizeFrac = 0.001
+	}
+	if c.SizeJitter <= 0 || c.SizeJitter >= 1 {
+		c.SizeJitter = 0.5
+	}
+	if c.BackgroundFrac == 0 {
+		c.BackgroundFrac = 0.2
+	}
+	if c.BackgroundFrac < 0 {
+		c.BackgroundFrac = 0
+	}
+	return c
+}
+
+// Generate produces one dataset according to cfg, tagged with dataset id ds.
+// Object centers always lie inside cfg.Bounds; object boxes may protrude
+// slightly past the boundary, as real meshes do.
+func Generate(cfg Config, ds object.DatasetID) []object.Object {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	side := cfg.Bounds.LongestSide()
+	sigma := cfg.ClusterSigmaFrac * side
+	meanHE := cfg.ObjectSizeFrac * side / 2
+
+	// Anatomy (cluster and filament positions) may come from a dedicated
+	// seed so multiple datasets share it.
+	anatomyRand := r
+	if cfg.ClusterSeed != 0 {
+		anatomyRand = rand.New(rand.NewSource(cfg.ClusterSeed))
+	}
+	var centers []geom.Vec
+	var filaments [][2]geom.Vec
+	switch cfg.Layout {
+	case Clustered:
+		centers = make([]geom.Vec, cfg.Clusters)
+		for i := range centers {
+			centers[i] = uniformPoint(anatomyRand, cfg.Bounds)
+		}
+	case Filamentary:
+		filaments = make([][2]geom.Vec, cfg.Clusters)
+		for i := range filaments {
+			filaments[i] = [2]geom.Vec{uniformPoint(anatomyRand, cfg.Bounds), uniformPoint(anatomyRand, cfg.Bounds)}
+		}
+	}
+
+	sample := func() geom.Vec {
+		if cfg.Layout != Uniform && r.Float64() < cfg.BackgroundFrac {
+			return uniformPoint(r, cfg.Bounds) // diffuse background object
+		}
+		switch cfg.Layout {
+		case Clustered:
+			base := centers[r.Intn(len(centers))]
+			return clampPoint(gaussianAround(r, base, sigma), cfg.Bounds)
+		case Filamentary:
+			f := filaments[r.Intn(len(filaments))]
+			t := r.Float64()
+			along := f[0].Add(f[1].Sub(f[0]).Mul(t))
+			return clampPoint(gaussianAround(r, along, sigma/3), cfg.Bounds)
+		default:
+			return uniformPoint(r, cfg.Bounds)
+		}
+	}
+
+	objs := make([]object.Object, cfg.NumObjects)
+	for i := range objs {
+		c := sample()
+		jitter := 1 + cfg.SizeJitter*(2*r.Float64()-1)
+		he := meanHE * jitter
+		objs[i] = object.Object{
+			ID:         uint64(i),
+			Dataset:    ds,
+			Center:     c,
+			HalfExtent: geom.V(he*(0.5+r.Float64()), he*(0.5+r.Float64()), he*(0.5+r.Float64())),
+		}
+	}
+	return objs
+}
+
+// GenerateDatasets produces n datasets sharing cfg.Bounds with dataset ids
+// 0..n-1. The datasets share their anatomy (cluster positions) — they are
+// captures of the same brain region by different instruments — while each
+// gets a distinct object-placement seed. Set cfg.ClusterSeed explicitly to
+// control the shared anatomy, or generate datasets individually with
+// distinct ClusterSeeds for unrelated volumes.
+func GenerateDatasets(cfg Config, n int) [][]object.Object {
+	out := make([][]object.Object, n)
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed*1000003 + int64(i)*7919
+		if c.ClusterSeed == 0 {
+			c.ClusterSeed = cfg.Seed*31 + 17
+		}
+		out[i] = Generate(c, object.DatasetID(i))
+	}
+	return out
+}
+
+// Anatomy returns the cluster centers (or filament endpoints, flattened)
+// the configuration generates objects around. Workload generators use it to
+// aim query clusters at populated areas, the way scientists query regions
+// where structures actually exist.
+func Anatomy(cfg Config) []geom.Vec {
+	cfg = cfg.withDefaults()
+	seed := cfg.ClusterSeed
+	if seed == 0 {
+		seed = cfg.Seed
+	}
+	r := rand.New(rand.NewSource(seed))
+	switch cfg.Layout {
+	case Filamentary:
+		out := make([]geom.Vec, 0, 2*cfg.Clusters)
+		for i := 0; i < cfg.Clusters; i++ {
+			a, b := uniformPoint(r, cfg.Bounds), uniformPoint(r, cfg.Bounds)
+			out = append(out, a.Add(b).Mul(0.5)) // filament midpoint
+		}
+		return out
+	case Uniform:
+		return nil
+	default:
+		out := make([]geom.Vec, cfg.Clusters)
+		for i := range out {
+			out[i] = uniformPoint(r, cfg.Bounds)
+		}
+		return out
+	}
+}
+
+// uniformPoint samples a point uniformly inside b.
+func uniformPoint(r *rand.Rand, b geom.Box) geom.Vec {
+	s := b.Size()
+	return geom.Vec{
+		X: b.Min.X + r.Float64()*s.X,
+		Y: b.Min.Y + r.Float64()*s.Y,
+		Z: b.Min.Z + r.Float64()*s.Z,
+	}
+}
+
+// gaussianAround samples an isotropic Gaussian with the given sigma.
+func gaussianAround(r *rand.Rand, mean geom.Vec, sigma float64) geom.Vec {
+	return geom.Vec{
+		X: mean.X + r.NormFloat64()*sigma,
+		Y: mean.Y + r.NormFloat64()*sigma,
+		Z: mean.Z + r.NormFloat64()*sigma,
+	}
+}
+
+// clampPoint clamps p into b.
+func clampPoint(p geom.Vec, b geom.Box) geom.Vec {
+	return p.Max(b.Min).Min(b.Max)
+}

@@ -1,0 +1,173 @@
+// Package object defines the spatial object record shared by every engine
+// in the repository and its fixed-width binary page encoding.
+//
+// The paper's datasets model neuron morphologies as 3D surface meshes; each
+// indexed element carries an identifier, a dataset id, and a spatial extent.
+// Space-oriented partitioning (octree, grid) assigns objects by their center
+// point and answers queries via the query-window extension, so the record
+// stores center + half-extent explicitly.
+package object
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"spaceodyssey/internal/geom"
+	"spaceodyssey/internal/simdisk"
+)
+
+// DatasetID identifies one of the n datasets under exploration.
+type DatasetID uint32
+
+// Object is one spatial object: an axis-aligned box described by its center
+// and half-extent, tagged with the dataset it belongs to.
+type Object struct {
+	ID         uint64
+	Dataset    DatasetID
+	Center     geom.Vec
+	HalfExtent geom.Vec
+}
+
+// Box returns the object's axis-aligned bounding box.
+func (o Object) Box() geom.Box {
+	return geom.BoxFromCenter(o.Center, o.HalfExtent)
+}
+
+// Intersects reports whether the object's box intersects q.
+func (o Object) Intersects(q geom.Box) bool {
+	return o.Box().Intersects(q)
+}
+
+// RecordSize is the fixed on-disk size of one object record:
+// id(8) + dataset(4) + pad(4) + center(3*8) + halfExtent(3*8) = 64 bytes.
+const RecordSize = 64
+
+// pageHeaderSize is the per-page header: magic(2) count(2) crc32(4) pad(8).
+const pageHeaderSize = 16
+
+// PageCapacity is the number of object records per 4 KB page.
+const PageCapacity = (simdisk.PageSize - pageHeaderSize) / RecordSize
+
+// pageMagic marks a valid object page.
+const pageMagic = 0x5D0D // "SpODyssey"
+
+// Encoding/decoding errors.
+var (
+	ErrPageFull     = errors.New("object: too many records for one page")
+	ErrBadMagic     = errors.New("object: page has bad magic (not an object page)")
+	ErrBadChecksum  = errors.New("object: page checksum mismatch (corrupted page)")
+	ErrBadCount     = errors.New("object: page record count out of range")
+	ErrShortBuffer  = errors.New("object: buffer shorter than one page")
+	ErrNonFiniteVec = errors.New("object: non-finite coordinate")
+)
+
+// Validate reports an error when the object's geometry is unusable.
+func (o Object) Validate() error {
+	if !o.Center.Finite() || !o.HalfExtent.Finite() {
+		return fmt.Errorf("%w: object %d", ErrNonFiniteVec, o.ID)
+	}
+	if o.HalfExtent.X < 0 || o.HalfExtent.Y < 0 || o.HalfExtent.Z < 0 {
+		return fmt.Errorf("object %d: negative half-extent %v", o.ID, o.HalfExtent)
+	}
+	return nil
+}
+
+// putVec writes v at buf[off:], returning the next offset.
+func putVec(buf []byte, off int, v geom.Vec) int {
+	binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v.X))
+	binary.LittleEndian.PutUint64(buf[off+8:], math.Float64bits(v.Y))
+	binary.LittleEndian.PutUint64(buf[off+16:], math.Float64bits(v.Z))
+	return off + 24
+}
+
+// getVec reads a Vec from buf[off:], returning it and the next offset.
+func getVec(buf []byte, off int) (geom.Vec, int) {
+	return geom.Vec{
+		X: math.Float64frombits(binary.LittleEndian.Uint64(buf[off:])),
+		Y: math.Float64frombits(binary.LittleEndian.Uint64(buf[off+8:])),
+		Z: math.Float64frombits(binary.LittleEndian.Uint64(buf[off+16:])),
+	}, off + 24
+}
+
+// EncodeRecord writes o into buf (at least RecordSize bytes).
+func EncodeRecord(buf []byte, o Object) {
+	binary.LittleEndian.PutUint64(buf[0:], o.ID)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(o.Dataset))
+	binary.LittleEndian.PutUint32(buf[12:], 0) // padding
+	off := putVec(buf, 16, o.Center)
+	putVec(buf, off, o.HalfExtent)
+}
+
+// DecodeRecord reads an Object from buf (at least RecordSize bytes).
+func DecodeRecord(buf []byte) Object {
+	var o Object
+	o.ID = binary.LittleEndian.Uint64(buf[0:])
+	o.Dataset = DatasetID(binary.LittleEndian.Uint32(buf[8:]))
+	var off int
+	o.Center, off = getVec(buf, 16)
+	o.HalfExtent, _ = getVec(buf, off)
+	return o
+}
+
+// EncodePage encodes up to PageCapacity objects into a fresh PageSize
+// buffer with header and checksum.
+func EncodePage(objs []Object) ([]byte, error) {
+	if len(objs) > PageCapacity {
+		return nil, fmt.Errorf("%w: %d > %d", ErrPageFull, len(objs), PageCapacity)
+	}
+	buf := make([]byte, simdisk.PageSize)
+	binary.LittleEndian.PutUint16(buf[0:], pageMagic)
+	binary.LittleEndian.PutUint16(buf[2:], uint16(len(objs)))
+	for i, o := range objs {
+		EncodeRecord(buf[pageHeaderSize+i*RecordSize:], o)
+	}
+	crc := crc32.ChecksumIEEE(buf[pageHeaderSize:])
+	binary.LittleEndian.PutUint32(buf[4:], crc)
+	return buf, nil
+}
+
+// DecodePage decodes the objects stored in one page, verifying the header
+// magic and payload checksum.
+func DecodePage(buf []byte) ([]Object, error) {
+	if len(buf) < simdisk.PageSize {
+		return nil, ErrShortBuffer
+	}
+	if binary.LittleEndian.Uint16(buf[0:]) != pageMagic {
+		return nil, ErrBadMagic
+	}
+	count := int(binary.LittleEndian.Uint16(buf[2:]))
+	if count > PageCapacity {
+		return nil, fmt.Errorf("%w: %d", ErrBadCount, count)
+	}
+	wantCRC := binary.LittleEndian.Uint32(buf[4:])
+	if crc32.ChecksumIEEE(buf[pageHeaderSize:simdisk.PageSize]) != wantCRC {
+		return nil, ErrBadChecksum
+	}
+	objs := make([]Object, count)
+	for i := 0; i < count; i++ {
+		objs[i] = DecodeRecord(buf[pageHeaderSize+i*RecordSize:])
+	}
+	return objs, nil
+}
+
+// AppendPageInto decodes one page and appends the records to dst, returning
+// the extended slice. It avoids re-allocating when callers accumulate many
+// pages.
+func AppendPageInto(dst []Object, buf []byte) ([]Object, error) {
+	objs, err := DecodePage(buf)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, objs...), nil
+}
+
+// PagesFor returns the number of pages needed to store n records.
+func PagesFor(n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64((n + PageCapacity - 1) / PageCapacity)
+}

@@ -1,0 +1,96 @@
+package octree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAncestorOfSelf(t *testing.T) {
+	k := Key{Level: 3, X: 5, Y: 6, Z: 7}
+	if !k.AncestorOf(k, 4) {
+		t.Fatal("key not ancestor of itself")
+	}
+}
+
+func TestAncestorPanicsBelowLevel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Ancestor(level > key.Level) did not panic")
+		}
+	}()
+	Key{Level: 1}.Ancestor(2, 4)
+}
+
+// Property: for random descent paths, every prefix of the path is an
+// ancestor of the final key, and Ancestor() recovers exactly that prefix.
+func TestKeyAncestryProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		fanout := []int{2, 3, 4}[r.Intn(3)]
+		depth := 1 + r.Intn(6)
+		path := make([]Key, depth+1)
+		path[0] = Key{}
+		for lvl := 1; lvl <= depth; lvl++ {
+			path[lvl] = path[lvl-1].Child(fanout,
+				r.Intn(fanout), r.Intn(fanout), r.Intn(fanout))
+		}
+		leaf := path[depth]
+		for lvl := 0; lvl <= depth; lvl++ {
+			if got := leaf.Ancestor(uint8(lvl), fanout); got != path[lvl] {
+				t.Fatalf("fanout=%d: Ancestor(%d) = %v, want %v", fanout, lvl, got, path[lvl])
+			}
+			if !path[lvl].AncestorOf(leaf, fanout) {
+				t.Fatalf("fanout=%d: path[%d] not AncestorOf leaf", fanout, lvl)
+			}
+		}
+		// A sibling at any level is NOT an ancestor.
+		if depth >= 1 {
+			lvl := 1 + r.Intn(depth)
+			sib := path[lvl]
+			sib.X ^= 1 // flip to a different cell at the same level
+			if sib.AncestorOf(leaf, fanout) && sib != path[lvl] {
+				t.Fatalf("fanout=%d: sibling %v claimed ancestry of %v", fanout, sib, leaf)
+			}
+		}
+	}
+}
+
+// Property: AncestorOf is antisymmetric for distinct keys and transitive
+// along chains.
+func TestAncestorOfAntisymmetryProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(2))}
+	f := func(lvlA, lvlB uint8, xa, ya, za, xb, yb, zb uint16) bool {
+		const fanout = 4
+		a := Key{Level: lvlA % 8, X: uint32(xa) % 64, Y: uint32(ya) % 64, Z: uint32(za) % 64}
+		b := Key{Level: lvlB % 8, X: uint32(xb) % 64, Y: uint32(yb) % 64, Z: uint32(zb) % 64}
+		// Clamp coordinates into each level's valid grid.
+		clamp := func(k Key) Key {
+			max := uint32(pow(fanout, int(k.Level)))
+			k.X %= max
+			k.Y %= max
+			k.Z %= max
+			return k
+		}
+		a, b = clamp(a), clamp(b)
+		if a == b {
+			return a.AncestorOf(b, fanout) && b.AncestorOf(a, fanout)
+		}
+		// Distinct keys cannot both be ancestors of each other.
+		return !(a.AncestorOf(b, fanout) && b.AncestorOf(a, fanout))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPow(t *testing.T) {
+	cases := map[[2]int]int{
+		{2, 0}: 1, {2, 3}: 8, {4, 2}: 16, {3, 3}: 27, {10, 1}: 10,
+	}
+	for in, want := range cases {
+		if got := pow(in[0], in[1]); got != want {
+			t.Errorf("pow(%d,%d) = %d, want %d", in[0], in[1], got, want)
+		}
+	}
+}

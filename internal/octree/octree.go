@@ -1,0 +1,307 @@
+// Package octree implements the paper's incremental space-oriented index:
+// one adaptive octree per dataset, built lazily as queries arrive.
+//
+// The tree starts unbuilt. The first query triggers the level-0 in-situ
+// scan that partitions the raw file into ppl uniform cells. Each subsequent
+// query refines — by exactly one level per query, as in the paper — every
+// hit partition whose volume exceeds RefinementThreshold times the query
+// volume. Refinement rewrites the partition in place, reusing its pages and
+// appending overflow at end of file (§3.1.2).
+//
+// All trees over the same exploration volume share cell geometry: a
+// partition is globally identified by its (level, cell) key, which is what
+// lets the Merger combine equally-refined partitions of different datasets.
+package octree
+
+import (
+	"fmt"
+	"math"
+
+	"spaceodyssey/internal/geom"
+	"spaceodyssey/internal/object"
+	"spaceodyssey/internal/pagefile"
+	"spaceodyssey/internal/rawfile"
+	"spaceodyssey/internal/simdisk"
+)
+
+// Config holds the tuning parameters of the incremental index.
+type Config struct {
+	// RefinementThreshold is rt: a partition hit by a query is refined when
+	// partitionVolume/queryVolume > rt. Paper default: 4.
+	RefinementThreshold float64
+	// PartitionsPerLevel is ppl, the fanout of one refinement step. It must
+	// be a perfect cube (k^3); the paper uses 64 (= 4^3) for faster
+	// convergence than the canonical octree's 8.
+	PartitionsPerLevel int
+	// MaxDepth bounds refinement as a safety net. Default 16.
+	MaxDepth int
+}
+
+// DefaultConfig returns the paper's configuration (rt=4, ppl=64).
+func DefaultConfig() Config {
+	return Config{RefinementThreshold: 4, PartitionsPerLevel: 64, MaxDepth: 16}
+}
+
+// withDefaults fills zero fields and validates ppl.
+func (c Config) withDefaults() (Config, int, error) {
+	if c.RefinementThreshold <= 0 {
+		c.RefinementThreshold = 4
+	}
+	if c.PartitionsPerLevel == 0 {
+		c.PartitionsPerLevel = 64
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 16
+	}
+	k := int(math.Round(math.Cbrt(float64(c.PartitionsPerLevel))))
+	if k < 2 || k*k*k != c.PartitionsPerLevel {
+		return c, 0, fmt.Errorf("octree: ppl=%d is not a cube k^3 with k >= 2",
+			c.PartitionsPerLevel)
+	}
+	return c, k, nil
+}
+
+// Key globally identifies a partition: the cell (X, Y, Z) of the uniform
+// k^Level × k^Level × k^Level grid over the exploration volume. Trees that
+// share bounds and ppl produce identical keys for identical regions.
+type Key struct {
+	Level   uint8
+	X, Y, Z uint32
+}
+
+// Child returns the key of the child cell (cx, cy, cz) one level down.
+func (k Key) Child(fanoutPerDim, cx, cy, cz int) Key {
+	return Key{
+		Level: k.Level + 1,
+		X:     k.X*uint32(fanoutPerDim) + uint32(cx),
+		Y:     k.Y*uint32(fanoutPerDim) + uint32(cy),
+		Z:     k.Z*uint32(fanoutPerDim) + uint32(cz),
+	}
+}
+
+// Ancestor returns k's ancestor cell at the given (shallower or equal)
+// level. It panics if level exceeds k's.
+func (k Key) Ancestor(level uint8, fanoutPerDim int) Key {
+	if level > k.Level {
+		panic(fmt.Sprintf("octree: ancestor level %d below key level %d", level, k.Level))
+	}
+	div := uint32(pow(fanoutPerDim, int(k.Level-level)))
+	return Key{Level: level, X: k.X / div, Y: k.Y / div, Z: k.Z / div}
+}
+
+// AncestorOf reports whether k's cell contains other's cell (equality
+// included).
+func (k Key) AncestorOf(other Key, fanoutPerDim int) bool {
+	if k.Level > other.Level {
+		return false
+	}
+	return other.Ancestor(k.Level, fanoutPerDim) == k
+}
+
+// Partition is a leaf of the tree: a spatial cell plus the disk runs holding
+// the objects whose centers fall inside it.
+type Partition struct {
+	key      Key
+	box      geom.Box
+	runs     []pagefile.Run
+	count    int
+	children []*Partition // non-nil once refined (then no longer a leaf)
+}
+
+// Key returns the partition's global cell key.
+func (p *Partition) Key() Key { return p.key }
+
+// Box returns the partition's cell box.
+func (p *Partition) Box() geom.Box { return p.box }
+
+// Count returns the number of objects stored in the partition.
+func (p *Partition) Count() int { return p.count }
+
+// Runs returns the disk runs holding the partition (for inspection).
+func (p *Partition) Runs() []pagefile.Run { return p.runs }
+
+// IsLeaf reports whether the partition has not been refined.
+func (p *Partition) IsLeaf() bool { return p.children == nil }
+
+// Pages returns the partition's size on disk in pages.
+func (p *Partition) Pages() int64 { return pagefile.Pages(p.runs) }
+
+// Tree is the incremental octree over one dataset.
+type Tree struct {
+	cfg    Config
+	k      int // fanout per dimension (ppl = k^3)
+	bounds geom.Box
+	raw    *rawfile.Raw
+	file   *pagefile.File
+	root   *Partition
+
+	built      bool
+	maxExtent  geom.Vec // per-dimension max object half-extent (query-window extension)
+	numObjects int
+	numLeaves  int
+
+	// Refinements counts completed refinement operations (for stats).
+	Refinements int
+}
+
+// New creates an unbuilt tree for raw over the shared exploration volume
+// bounds. Storage pages are allocated on dev in a file named after the raw
+// file. No I/O happens until the first query (EnsureBuilt).
+func New(dev *simdisk.Device, raw *rawfile.Raw, bounds geom.Box, cfg Config) (*Tree, error) {
+	cfg, k, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if bounds.Volume() <= 0 {
+		return nil, fmt.Errorf("octree: bounds %v has no volume", bounds)
+	}
+	return &Tree{
+		cfg:    cfg,
+		k:      k,
+		bounds: bounds,
+		raw:    raw,
+		file:   pagefile.Create(dev, raw.Name()+".octree"),
+	}, nil
+}
+
+// Built reports whether the level-0 partitioning has run.
+func (t *Tree) Built() bool { return t.built }
+
+// Dataset returns the dataset id the tree indexes.
+func (t *Tree) Dataset() object.DatasetID { return t.raw.Dataset() }
+
+// MaxExtent returns the per-dimension maximum object half-extent, the
+// amount by which queries must be extended (query-window extension).
+func (t *Tree) MaxExtent() geom.Vec { return t.maxExtent }
+
+// Bounds returns the exploration volume the tree partitions.
+func (t *Tree) Bounds() geom.Box { return t.bounds }
+
+// NumObjects returns the number of indexed objects (0 before build).
+func (t *Tree) NumObjects() int { return t.numObjects }
+
+// NumLeaves returns the number of leaf partitions (0 before build).
+func (t *Tree) NumLeaves() int { return t.numLeaves }
+
+// FanoutPerDim returns k where ppl = k^3.
+func (t *Tree) FanoutPerDim() int { return t.k }
+
+// EnsureBuilt runs the level-0 partitioning if it has not happened yet: one
+// full in-situ scan of the raw file, assigning every object to one of ppl
+// uniform cells by its center, then writing each cell sequentially. This is
+// the expensive first query of the paper's Figure 5.
+func (t *Tree) EnsureBuilt() error {
+	if t.built {
+		return nil
+	}
+	buckets := make([][]object.Object, t.k*t.k*t.k)
+	var maxExt geom.Vec
+	n := 0
+	err := t.raw.Scan(func(o object.Object) error {
+		ix, iy, iz := t.bounds.CellIndex(t.k, o.Center)
+		idx := (iz*t.k+iy)*t.k + ix
+		buckets[idx] = append(buckets[idx], o)
+		maxExt = maxExt.Max(o.HalfExtent)
+		n++
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("octree level-0 scan: %w", err)
+	}
+
+	cells := t.bounds.Subdivide(t.k)
+	root := &Partition{
+		key:      Key{},
+		box:      t.bounds,
+		children: make([]*Partition, 0, len(cells)),
+	}
+	for ci, cell := range cells {
+		cx := ci % t.k
+		cy := (ci / t.k) % t.k
+		cz := ci / (t.k * t.k)
+		objs := buckets[ci]
+		runs, err := t.file.WriteInto(nil, objs)
+		if err != nil {
+			return fmt.Errorf("octree level-0 write: %w", err)
+		}
+		root.children = append(root.children, &Partition{
+			key:   root.key.Child(t.k, cx, cy, cz),
+			box:   cell,
+			runs:  runs,
+			count: len(objs),
+		})
+	}
+	t.root = root
+	t.built = true
+	t.maxExtent = maxExt
+	t.numObjects = n
+	t.numLeaves = len(root.children)
+	return nil
+}
+
+// Lookup returns the leaf partitions intersecting area. The caller is
+// responsible for extending the query window by MaxExtent first when the
+// goal is retrieving all intersecting objects. Lookup never performs I/O.
+func (t *Tree) Lookup(area geom.Box) []*Partition {
+	if !t.built {
+		return nil
+	}
+	var out []*Partition
+	var walk func(p *Partition)
+	walk = func(p *Partition) {
+		if !p.box.Intersects(area) {
+			return
+		}
+		if p.IsLeaf() {
+			out = append(out, p)
+			return
+		}
+		for _, c := range p.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// LeafAt returns the leaf partition with exactly the given key, or nil if
+// that cell is unbuilt, internal, or refined past the key's level. The
+// Merger uses it to enforce the same-refinement-level rule.
+func (t *Tree) LeafAt(key Key) *Partition {
+	if !t.built || key.Level == 0 {
+		return nil
+	}
+	p := t.root
+	for lvl := uint8(0); lvl < key.Level; lvl++ {
+		if p.IsLeaf() {
+			return nil // tree is coarser here than the key
+		}
+		shift := int(key.Level - lvl - 1)
+		div := pow(t.k, shift)
+		cx := int(key.X) / div % t.k
+		cy := int(key.Y) / div % t.k
+		cz := int(key.Z) / div % t.k
+		p = p.children[(cz*t.k+cy)*t.k+cx]
+	}
+	if !p.IsLeaf() || p.key != key {
+		return nil
+	}
+	return p
+}
+
+// ReadPartition reads every object stored in p from disk.
+func (t *Tree) ReadPartition(p *Partition) ([]object.Object, error) {
+	return t.file.ReadRuns(p.runs)
+}
+
+// File exposes the partition storage file (merge copies read through it).
+func (t *Tree) File() *pagefile.File { return t.file }
+
+// pow returns base**exp for small non-negative integers.
+func pow(base, exp int) int {
+	r := 1
+	for i := 0; i < exp; i++ {
+		r *= base
+	}
+	return r
+}

@@ -1,0 +1,287 @@
+package octree
+
+import (
+	"fmt"
+	"time"
+
+	"spaceodyssey/internal/geom"
+	"spaceodyssey/internal/object"
+	"spaceodyssey/internal/pagefile"
+)
+
+// NeedsRefinement applies the paper's rt rule: a partition hit by a query of
+// volume qVol is refined when Vp/Vq > rt, it still holds objects, and the
+// depth bound has not been reached.
+func (t *Tree) NeedsRefinement(p *Partition, qVol float64) bool {
+	if !p.IsLeaf() || p.count == 0 || int(p.key.Level) >= t.cfg.MaxDepth {
+		return false
+	}
+	if qVol <= 0 {
+		return false
+	}
+	return p.box.Volume()/qVol > t.cfg.RefinementThreshold
+}
+
+// Refine splits leaf p into ppl children, reassigning its objects by center
+// and rewriting them in place: children reuse p's pages first and overflow
+// is appended at end of file, exactly as §3.1.2 describes. It returns the
+// objects that were read in the process so callers answering a query can
+// filter them without a second read.
+func (t *Tree) Refine(p *Partition) ([]object.Object, error) {
+	if !p.IsLeaf() {
+		return nil, fmt.Errorf("octree: refine on non-leaf %v", p.key)
+	}
+	objs, err := t.ReadPartition(p)
+	if err != nil {
+		return nil, fmt.Errorf("octree refine read: %w", err)
+	}
+
+	// Bucket objects into the k^3 children by center.
+	buckets := make([][]object.Object, t.k*t.k*t.k)
+	for _, o := range objs {
+		ix, iy, iz := p.box.CellIndex(t.k, o.Center)
+		idx := (iz*t.k+iy)*t.k + ix
+		buckets[idx] = append(buckets[idx], o)
+	}
+
+	// The parent's pages become the free pool children draw from in order.
+	alloc := &runAllocator{free: p.runs}
+	cells := p.box.Subdivide(t.k)
+	children := make([]*Partition, 0, len(cells))
+	for ci, cell := range cells {
+		cx := ci % t.k
+		cy := (ci / t.k) % t.k
+		cz := ci / (t.k * t.k)
+		bucket := buckets[ci]
+		reuse := alloc.take(object.PagesFor(len(bucket)))
+		runs, err := t.file.WriteInto(reuse, bucket)
+		if err != nil {
+			return nil, fmt.Errorf("octree refine write: %w", err)
+		}
+		children = append(children, &Partition{
+			key:   p.key.Child(t.k, cx, cy, cz),
+			box:   cell,
+			runs:  runs,
+			count: len(bucket),
+		})
+	}
+	p.children = children
+	p.runs = nil
+	t.numLeaves += len(children) - 1
+	t.Refinements++
+	return objs, nil
+}
+
+// QueryResult carries the outcome of a single-tree range query.
+type QueryResult struct {
+	// Objects are the dataset's objects intersecting the query range.
+	Objects []object.Object
+	// Touched lists the leaf partitions (post-refinement) the query hit.
+	Touched []*Partition
+	// Refined is the number of refinement operations the query triggered.
+	Refined int
+	// BuildTime, RefineTime and ReadTime break the simulated cost of this
+	// query down by phase: the level-0 in-situ build (first touch only),
+	// refinement I/O, and partition reads.
+	BuildTime  time.Duration
+	RefineTime time.Duration
+	ReadTime   time.Duration
+}
+
+// Query runs a range query against this tree alone: it builds level 0 on
+// first use, locates the hit partitions via the extended query window,
+// refines each hit partition by at most one level (the paper's
+// one-level-per-query rule), and returns the intersecting objects.
+//
+// serveFromStore, when non-nil, lets the caller intercept a partition: if it
+// returns true the partition's objects are assumed served elsewhere (e.g.
+// from a merge file) — it is neither read nor refined here. The core engine
+// uses this hook to route partitions to merge files.
+func (t *Tree) Query(q geom.Box, serveFromStore func(*Partition) bool) (QueryResult, error) {
+	var res QueryResult
+	dev := t.file.Device()
+	t0 := dev.Clock()
+	if err := t.EnsureBuilt(); err != nil {
+		return res, err
+	}
+	res.BuildTime = dev.Clock() - t0
+	extended := q.Expand(t.maxExtent)
+	qVol := q.Volume()
+	leaves := t.Lookup(extended)
+	for _, leaf := range leaves {
+		if serveFromStore != nil && serveFromStore(leaf) {
+			res.Touched = append(res.Touched, leaf)
+			continue
+		}
+		var objs []object.Object
+		var err error
+		if t.NeedsRefinement(leaf, qVol) {
+			// Refinement reads the partition; reuse those objects and
+			// descend to the children actually intersecting the query.
+			t1 := dev.Clock()
+			objs, err = t.Refine(leaf)
+			res.RefineTime += dev.Clock() - t1
+			if err != nil {
+				return res, err
+			}
+			res.Refined++
+			for _, c := range leaf.children {
+				if c.box.Intersects(extended) {
+					res.Touched = append(res.Touched, c)
+				}
+			}
+		} else {
+			t1 := dev.Clock()
+			objs, err = t.ReadPartition(leaf)
+			res.ReadTime += dev.Clock() - t1
+			if err != nil {
+				return res, err
+			}
+			res.Touched = append(res.Touched, leaf)
+		}
+		for _, o := range objs {
+			if o.Intersects(q) {
+				res.Objects = append(res.Objects, o)
+			}
+		}
+	}
+	return res, nil
+}
+
+// TargetLevels returns the number of refinement levels (queries hitting the
+// partition) needed before a level-0 partition of volume vp converges for
+// queries of volume vq: log_ppl(vp / (vq * rt)), the paper's convergence
+// equation (§3.1.2).
+func (t *Tree) TargetLevels(vp, vq float64) int {
+	if vp <= 0 || vq <= 0 {
+		return 0
+	}
+	ratio := vp / (vq * t.cfg.RefinementThreshold)
+	if ratio <= 1 {
+		return 0
+	}
+	levels := 0
+	ppl := float64(t.cfg.PartitionsPerLevel)
+	for ratio > 1 {
+		ratio /= ppl
+		levels++
+	}
+	return levels
+}
+
+// LeafCovering returns the leaf whose cell contains the given key's cell
+// (the leaf at key itself, or an ancestor when the tree is coarser there).
+// It returns nil when the tree is unbuilt or refined *past* the key — then
+// no single leaf covers the cell.
+func (t *Tree) LeafCovering(key Key) *Partition {
+	if !t.built || key.Level == 0 {
+		return nil
+	}
+	p := t.root
+	for lvl := uint8(0); lvl < key.Level; lvl++ {
+		if p.IsLeaf() {
+			return p // coarser than key: this leaf covers the cell
+		}
+		shift := int(key.Level - lvl - 1)
+		div := pow(t.k, shift)
+		cx := int(key.X) / div % t.k
+		cy := int(key.Y) / div % t.k
+		cz := int(key.Z) / div % t.k
+		p = p.children[(cz*t.k+cy)*t.k+cx]
+	}
+	if !p.IsLeaf() {
+		return nil // refined deeper than key
+	}
+	return p
+}
+
+// RefineTo refines the tree along the path to key until a leaf exists at
+// exactly that cell, and returns it. This implements the paper's §3.2.5
+// "refine all partitions to the same level as the finest before merging"
+// strategy: lagging datasets are brought to the leader's refinement level
+// at merge time (the refinement I/O is charged like any other). It fails
+// when the tree is unbuilt or already refined past the key.
+func (t *Tree) RefineTo(key Key) (*Partition, error) {
+	if !t.built {
+		return nil, fmt.Errorf("octree: RefineTo on unbuilt tree")
+	}
+	for {
+		if leaf := t.LeafAt(key); leaf != nil {
+			return leaf, nil
+		}
+		cover := t.LeafCovering(key)
+		if cover == nil {
+			return nil, fmt.Errorf("octree: tree refined past key %v", key)
+		}
+		if int(cover.key.Level) >= t.cfg.MaxDepth {
+			return nil, fmt.Errorf("octree: RefineTo %v exceeds MaxDepth", key)
+		}
+		if _, err := t.Refine(cover); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// LeavesUnder returns every leaf whose cell lies inside the given key's
+// cell (including a leaf exactly at the key). The coarsest-cover merge
+// strategy reads them all to build one segment.
+func (t *Tree) LeavesUnder(key Key) []*Partition {
+	if !t.built {
+		return nil
+	}
+	var start *Partition
+	if key.Level == 0 {
+		start = t.root
+	} else {
+		p := t.root
+		for lvl := uint8(0); lvl < key.Level; lvl++ {
+			if p.IsLeaf() {
+				return nil // tree coarser than the key: nothing strictly under it
+			}
+			shift := int(key.Level - lvl - 1)
+			div := pow(t.k, shift)
+			cx := int(key.X) / div % t.k
+			cy := int(key.Y) / div % t.k
+			cz := int(key.Z) / div % t.k
+			p = p.children[(cz*t.k+cy)*t.k+cx]
+		}
+		start = p
+	}
+	var out []*Partition
+	var walk func(p *Partition)
+	walk = func(p *Partition) {
+		if p.IsLeaf() {
+			out = append(out, p)
+			return
+		}
+		for _, c := range p.children {
+			walk(c)
+		}
+	}
+	walk(start)
+	return out
+}
+
+// runAllocator hands out pages from a free pool of runs in order.
+type runAllocator struct {
+	free []pagefile.Run
+}
+
+// take removes up to n pages from the pool and returns them as runs.
+func (a *runAllocator) take(n int64) []pagefile.Run {
+	var out []pagefile.Run
+	for n > 0 && len(a.free) > 0 {
+		r := &a.free[0]
+		if r.Count <= n {
+			out = append(out, *r)
+			n -= r.Count
+			a.free = a.free[1:]
+			continue
+		}
+		out = append(out, pagefile.Run{Start: r.Start, Count: n})
+		r.Start += n
+		r.Count -= n
+		n = 0
+	}
+	return out
+}

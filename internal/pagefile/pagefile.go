@@ -1,0 +1,193 @@
+// Package pagefile layers object-record storage on top of the simulated
+// disk: files of fixed-size pages holding object records, addressed by runs
+// of consecutive pages.
+//
+// A Run is the unit partitions and merge files are stored in. Reading a run
+// is a sequential scan on the device; a partition that was refined in place
+// may span two runs (the reused parent pages plus appended overflow), which
+// costs one extra seek — exactly the behaviour the paper describes for
+// in-place refinement with appended pages.
+package pagefile
+
+import (
+	"fmt"
+
+	"spaceodyssey/internal/object"
+	"spaceodyssey/internal/simdisk"
+)
+
+// Run is a range of consecutive pages [Start, Start+Count) in one file.
+type Run struct {
+	Start int64
+	Count int64
+}
+
+// Pages returns the total page count across runs.
+func Pages(runs []Run) int64 {
+	var n int64
+	for _, r := range runs {
+		n += r.Count
+	}
+	return n
+}
+
+// File stores object pages on a simulated device.
+type File struct {
+	dev *simdisk.Device
+	id  simdisk.FileID
+}
+
+// Create allocates a new empty page file on dev.
+func Create(dev *simdisk.Device, name string) *File {
+	return &File{dev: dev, id: dev.CreateFile(name)}
+}
+
+// Device returns the underlying device.
+func (f *File) Device() *simdisk.Device { return f.dev }
+
+// ID returns the device file handle.
+func (f *File) ID() simdisk.FileID { return f.id }
+
+// NumPages returns the file length in pages.
+func (f *File) NumPages() (int64, error) { return f.dev.NumPages(f.id) }
+
+// Delete removes the file from the device.
+func (f *File) Delete() error { return f.dev.DeleteFile(f.id) }
+
+// AppendObjects writes objs to freshly appended pages and returns the run
+// they occupy. An empty slice returns a zero-length run at EOF.
+func (f *File) AppendObjects(objs []object.Object) (Run, error) {
+	end, err := f.dev.NumPages(f.id)
+	if err != nil {
+		return Run{}, err
+	}
+	run := Run{Start: end, Count: 0}
+	for off := 0; off < len(objs); off += object.PageCapacity {
+		hi := off + object.PageCapacity
+		if hi > len(objs) {
+			hi = len(objs)
+		}
+		page, err := object.EncodePage(objs[off:hi])
+		if err != nil {
+			return Run{}, err
+		}
+		if _, err := f.dev.AppendPage(f.id, page); err != nil {
+			return Run{}, err
+		}
+		run.Count++
+	}
+	return run, nil
+}
+
+// OverwriteObjects writes objs into the existing pages of run. The objects
+// must fit: object.PagesFor(len(objs)) <= run.Count. Pages of the run beyond
+// the data are rewritten empty so stale records cannot resurface. It returns
+// the sub-run actually holding data.
+func (f *File) OverwriteObjects(run Run, objs []object.Object) (Run, error) {
+	need := object.PagesFor(len(objs))
+	if need > run.Count {
+		return Run{}, fmt.Errorf("pagefile: %d objects need %d pages, run has %d",
+			len(objs), need, run.Count)
+	}
+	for i := int64(0); i < run.Count; i++ {
+		lo := int(i) * object.PageCapacity
+		hi := lo + object.PageCapacity
+		if lo > len(objs) {
+			lo = len(objs)
+		}
+		if hi > len(objs) {
+			hi = len(objs)
+		}
+		page, err := object.EncodePage(objs[lo:hi])
+		if err != nil {
+			return Run{}, err
+		}
+		if err := f.dev.WritePage(f.id, run.Start+i, page); err != nil {
+			return Run{}, err
+		}
+	}
+	return Run{Start: run.Start, Count: need}, nil
+}
+
+// ReadRun reads and decodes every object stored in run.
+func (f *File) ReadRun(run Run) ([]object.Object, error) {
+	return f.ReadRunInto(nil, run)
+}
+
+// ReadRunInto appends the objects of run to dst.
+func (f *File) ReadRunInto(dst []object.Object, run Run) ([]object.Object, error) {
+	if run.Count == 0 {
+		return dst, nil
+	}
+	buf, err := f.dev.ReadRun(f.id, run.Start, run.Count)
+	if err != nil {
+		return dst, err
+	}
+	for i := int64(0); i < run.Count; i++ {
+		dst, err = object.AppendPageInto(dst, buf[i*simdisk.PageSize:(i+1)*simdisk.PageSize])
+		if err != nil {
+			return dst, fmt.Errorf("page %d of run %+v: %w", run.Start+i, run, err)
+		}
+	}
+	return dst, nil
+}
+
+// ReadRuns reads all objects across runs in order.
+func (f *File) ReadRuns(runs []Run) ([]object.Object, error) {
+	var out []object.Object
+	var err error
+	for _, r := range runs {
+		out, err = f.ReadRunInto(out, r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// WriteInto distributes objs across the free capacity described by reuse
+// (pages to overwrite, in order) and appends whatever does not fit. It
+// returns the runs now holding the data. This is the primitive behind the
+// paper's in-place partition refinement: children reuse the parent's pages
+// first, overflow goes to end of file.
+func (f *File) WriteInto(reuse []Run, objs []object.Object) ([]Run, error) {
+	var out []Run
+	remaining := objs
+	for _, r := range reuse {
+		if len(remaining) == 0 {
+			break
+		}
+		fit := int(r.Count) * object.PageCapacity
+		take := len(remaining)
+		if take > fit {
+			take = fit
+		}
+		used, err := f.OverwriteObjects(r, remaining[:take])
+		if err != nil {
+			return nil, err
+		}
+		if used.Count > 0 {
+			out = appendRun(out, used)
+		}
+		remaining = remaining[take:]
+	}
+	if len(remaining) > 0 {
+		run, err := f.AppendObjects(remaining)
+		if err != nil {
+			return nil, err
+		}
+		if run.Count > 0 {
+			out = appendRun(out, run)
+		}
+	}
+	return out, nil
+}
+
+// appendRun adds r to runs, merging with the previous run when contiguous.
+func appendRun(runs []Run, r Run) []Run {
+	if n := len(runs); n > 0 && runs[n-1].Start+runs[n-1].Count == r.Start {
+		runs[n-1].Count += r.Count
+		return runs
+	}
+	return append(runs, r)
+}

@@ -1,0 +1,137 @@
+// Package rawfile implements the unindexed, in-situ dataset files every
+// approach in the paper starts from. A raw file stores object records in
+// acquisition order, packed into pages with no spatial organization; the
+// only access path is a full sequential scan, which is exactly what Space
+// Odyssey's first query and every index build pay for (NoDB-style in-situ
+// processing).
+package rawfile
+
+import (
+	"errors"
+	"fmt"
+
+	"spaceodyssey/internal/geom"
+	"spaceodyssey/internal/object"
+	"spaceodyssey/internal/pagefile"
+	"spaceodyssey/internal/simdisk"
+)
+
+// ErrClosed is returned for operations on a deleted raw file.
+var ErrClosed = errors.New("rawfile: file deleted")
+
+// Raw is one raw dataset file on the simulated disk.
+type Raw struct {
+	name    string
+	dataset object.DatasetID
+	file    *pagefile.File
+	run     pagefile.Run
+	count   int
+	bounds  geom.Box
+	deleted bool
+}
+
+// Write materializes objs as a raw file on dev. The write is charged to the
+// device clock; callers that model pre-existing data (the usual case — the
+// paper's datasets already sit on disk) should ResetClock afterwards.
+// The dataset's bounding box is recorded for engines that need the indexed
+// space (it would be dataset metadata in a real deployment).
+func Write(dev *simdisk.Device, name string, dataset object.DatasetID, objs []object.Object) (*Raw, error) {
+	f := pagefile.Create(dev, name)
+	run, err := f.AppendObjects(objs)
+	if err != nil {
+		return nil, fmt.Errorf("rawfile %q: %w", name, err)
+	}
+	bounds := geom.Box{}
+	for i, o := range objs {
+		if err := o.Validate(); err != nil {
+			return nil, fmt.Errorf("rawfile %q: %w", name, err)
+		}
+		if i == 0 {
+			bounds = o.Box()
+		} else {
+			bounds = bounds.Union(o.Box())
+		}
+	}
+	return &Raw{
+		name:    name,
+		dataset: dataset,
+		file:    f,
+		run:     run,
+		count:   len(objs),
+		bounds:  bounds,
+	}, nil
+}
+
+// Name returns the file's name.
+func (r *Raw) Name() string { return r.name }
+
+// Dataset returns the dataset id the file stores.
+func (r *Raw) Dataset() object.DatasetID { return r.dataset }
+
+// NumObjects returns the number of records in the file.
+func (r *Raw) NumObjects() int { return r.count }
+
+// NumPages returns the file length in pages.
+func (r *Raw) NumPages() int64 { return r.run.Count }
+
+// Bounds returns the union of all object boxes (dataset metadata).
+func (r *Raw) Bounds() geom.Box { return r.bounds }
+
+// Scan performs a full sequential in-situ scan, invoking fn for every
+// record in storage order. fn returning an error aborts the scan.
+func (r *Raw) Scan(fn func(object.Object) error) error {
+	if r.deleted {
+		return ErrClosed
+	}
+	// Stream page by page so huge files do not need one giant buffer.
+	buf := make([]byte, simdisk.PageSize)
+	dev := r.file.Device()
+	for p := r.run.Start; p < r.run.Start+r.run.Count; p++ {
+		if err := dev.ReadPage(r.file.ID(), p, buf); err != nil {
+			return err
+		}
+		objs, err := object.DecodePage(buf)
+		if err != nil {
+			return fmt.Errorf("rawfile %q page %d: %w", r.name, p, err)
+		}
+		for _, o := range objs {
+			if err := fn(o); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// All reads every record into memory.
+func (r *Raw) All() ([]object.Object, error) {
+	out := make([]object.Object, 0, r.count)
+	err := r.Scan(func(o object.Object) error {
+		out = append(out, o)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ScanRange performs a full scan and reports only records intersecting q —
+// the query path of a completely unindexed dataset.
+func (r *Raw) ScanRange(q geom.Box, fn func(object.Object) error) error {
+	return r.Scan(func(o object.Object) error {
+		if o.Intersects(q) {
+			return fn(o)
+		}
+		return nil
+	})
+}
+
+// Delete removes the file from the device.
+func (r *Raw) Delete() error {
+	if r.deleted {
+		return ErrClosed
+	}
+	r.deleted = true
+	return r.file.Delete()
+}

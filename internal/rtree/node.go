@@ -1,0 +1,104 @@
+// Package rtree implements the paper's R-tree baseline: an STR bulk-loaded
+// R-tree (Leutenegger, Lopez et al., ICDE'97) with node pages stored on
+// disk, in the all-in-one and one-for-each strategies. The bulk load charges
+// the I/O of the external sorts STR performs at scale (one sort pass per
+// dimension), which is what makes sophisticated spatial index construction
+// expensive in the paper's Figure 4.
+package rtree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"spaceodyssey/internal/geom"
+	"spaceodyssey/internal/simdisk"
+)
+
+// nodeHeaderSize is magic(2) + count(2) + level(2) + pad(10).
+const nodeHeaderSize = 16
+
+// entrySize is box (6 float64) + child page (int64).
+const entrySize = 56
+
+// nodeMagic marks R-tree node pages (distinct from object pages).
+const nodeMagic = 0x4E0D
+
+// MaxFanout is the hard capacity of a node page.
+const MaxFanout = (simdisk.PageSize - nodeHeaderSize) / entrySize
+
+// Node codec errors.
+var (
+	ErrNodeMagic  = errors.New("rtree: page is not a node page")
+	ErrNodeCount  = errors.New("rtree: node entry count out of range")
+	ErrTooManyEnt = errors.New("rtree: too many entries for one node page")
+)
+
+// entry is one slot of an internal node: the MBR of a subtree and the page
+// index of its root (a node page when level > 0, a leaf object page when
+// level == 0).
+type entry struct {
+	box   geom.Box
+	child int64
+}
+
+// encodeNode serializes entries into a fresh node page.
+func encodeNode(entries []entry, level int) ([]byte, error) {
+	if len(entries) > MaxFanout {
+		return nil, fmt.Errorf("%w: %d > %d", ErrTooManyEnt, len(entries), MaxFanout)
+	}
+	buf := make([]byte, simdisk.PageSize)
+	binary.LittleEndian.PutUint16(buf[0:], nodeMagic)
+	binary.LittleEndian.PutUint16(buf[2:], uint16(len(entries)))
+	binary.LittleEndian.PutUint16(buf[4:], uint16(level))
+	off := nodeHeaderSize
+	for _, e := range entries {
+		putF := func(v float64) {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+			off += 8
+		}
+		putF(e.box.Min.X)
+		putF(e.box.Min.Y)
+		putF(e.box.Min.Z)
+		putF(e.box.Max.X)
+		putF(e.box.Max.Y)
+		putF(e.box.Max.Z)
+		binary.LittleEndian.PutUint64(buf[off:], uint64(e.child))
+		off += 8
+	}
+	return buf, nil
+}
+
+// decodeNode parses a node page.
+func decodeNode(buf []byte) (entries []entry, level int, err error) {
+	if len(buf) < simdisk.PageSize {
+		return nil, 0, ErrNodeMagic
+	}
+	if binary.LittleEndian.Uint16(buf[0:]) != nodeMagic {
+		return nil, 0, ErrNodeMagic
+	}
+	count := int(binary.LittleEndian.Uint16(buf[2:]))
+	if count > MaxFanout {
+		return nil, 0, fmt.Errorf("%w: %d", ErrNodeCount, count)
+	}
+	level = int(binary.LittleEndian.Uint16(buf[4:]))
+	entries = make([]entry, count)
+	off := nodeHeaderSize
+	for i := range entries {
+		getF := func() float64 {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+			return v
+		}
+		entries[i].box.Min.X = getF()
+		entries[i].box.Min.Y = getF()
+		entries[i].box.Min.Z = getF()
+		entries[i].box.Max.X = getF()
+		entries[i].box.Max.Y = getF()
+		entries[i].box.Max.Z = getF()
+		entries[i].child = int64(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+	}
+	return entries, level, nil
+}

@@ -1,0 +1,344 @@
+package simdisk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// FileID identifies a page file on a Device.
+type FileID uint32
+
+// InvalidFile is the zero FileID; no valid file ever has it.
+const InvalidFile FileID = 0
+
+// Common device errors.
+var (
+	// ErrNoSuchFile is returned for operations on unknown or deleted files.
+	ErrNoSuchFile = errors.New("simdisk: no such file")
+	// ErrOutOfRange is returned when a page index is past end of file.
+	ErrOutOfRange = errors.New("simdisk: page index out of range")
+	// ErrBadPageSize is returned when a write buffer is not PageSize bytes.
+	ErrBadPageSize = errors.New("simdisk: page buffer must be exactly PageSize bytes")
+)
+
+// Stats aggregates device activity since the last Reset.
+type Stats struct {
+	PageReads    int64 // pages read from the platter (cache misses)
+	PageWrites   int64 // pages written
+	CacheHits    int64 // reads served by the buffer cache
+	Seeks        int64 // non-sequential repositionings
+	SeqPages     int64 // platter accesses that were sequential
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.PageReads += o.PageReads
+	s.PageWrites += o.PageWrites
+	s.CacheHits += o.CacheHits
+	s.Seeks += o.Seeks
+	s.SeqPages += o.SeqPages
+	s.BytesRead += o.BytesRead
+	s.BytesWritten += o.BytesWritten
+}
+
+// file is one page file stored entirely in memory.
+type file struct {
+	name  string
+	pages [][]byte
+}
+
+// Device is a simulated disk: a set of page files, a cost model, a buffer
+// cache and a simulated clock. All methods are safe for concurrent use,
+// though the experiments (like the paper's) are single-threaded.
+type Device struct {
+	mu    sync.Mutex
+	cost  CostModel
+	clock time.Duration
+	files map[FileID]*file
+	next  FileID
+	cache *lruCache
+	stats Stats
+
+	// sequential-run detection
+	lastFile  FileID
+	lastPage  int64
+	lastValid bool
+
+	// failure injection: pages that return an error on next platter read
+	readFaults map[pageKey]error
+}
+
+// NewDevice creates a Device with the given cost model and buffer-cache
+// capacity in pages. cacheCapacity <= 0 disables caching entirely.
+func NewDevice(cost CostModel, cacheCapacity int) *Device {
+	if err := cost.Validate(); err != nil {
+		panic(err)
+	}
+	return &Device{
+		cost:       cost,
+		files:      make(map[FileID]*file),
+		next:       1,
+		cache:      newLRUCache(cacheCapacity),
+		readFaults: make(map[pageKey]error),
+	}
+}
+
+// NewDefaultDevice creates a Device with the paper's SAS cost model and a
+// cache of cachePages pages.
+func NewDefaultDevice(cachePages int) *Device {
+	return NewDevice(DefaultCostModel(), cachePages)
+}
+
+// CreateFile allocates a new empty page file and returns its handle.
+func (d *Device) CreateFile(name string) FileID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := d.next
+	d.next++
+	d.files[id] = &file{name: name}
+	return id
+}
+
+// DeleteFile removes a file, releasing its pages and cache entries. Deleting
+// merge files under the space budget goes through here.
+func (d *Device) DeleteFile(id FileID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.files[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchFile, id)
+	}
+	delete(d.files, id)
+	d.cache.RemoveFile(id)
+	if d.lastValid && d.lastFile == id {
+		d.lastValid = false
+	}
+	return nil
+}
+
+// FileName returns the debug name a file was created with.
+func (d *Device) FileName(id FileID) (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[id]
+	if !ok {
+		return "", fmt.Errorf("%w: %d", ErrNoSuchFile, id)
+	}
+	return f.name, nil
+}
+
+// NumPages returns the current length of the file in pages.
+func (d *Device) NumPages(id FileID) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoSuchFile, id)
+	}
+	return int64(len(f.pages)), nil
+}
+
+// ReadPage reads page idx of file id into buf (which must be PageSize
+// bytes). A cached page pays CacheHit; otherwise the access pays Transfer,
+// plus Seek if it does not continue the previous platter access.
+func (d *Device) ReadPage(id FileID, idx int64, buf []byte) error {
+	if len(buf) != PageSize {
+		return ErrBadPageSize
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchFile, id)
+	}
+	if idx < 0 || idx >= int64(len(f.pages)) {
+		return fmt.Errorf("%w: file %d page %d of %d", ErrOutOfRange, id, idx, len(f.pages))
+	}
+	key := pageKey{id, idx}
+	if err, faulty := d.readFaults[key]; faulty {
+		delete(d.readFaults, key)
+		return err
+	}
+	if d.cache.Contains(key) {
+		d.clock += d.cost.CacheHit
+		d.stats.CacheHits++
+	} else {
+		d.chargePlatter(key)
+		d.stats.PageReads++
+		d.stats.BytesRead += PageSize
+		d.cache.Insert(key)
+	}
+	copy(buf, f.pages[idx])
+	return nil
+}
+
+// WritePage overwrites an existing page in place (partition refinement
+// reuses the pages the old partition occupied). The write pays platter cost
+// and refreshes the cache (write-through).
+func (d *Device) WritePage(id FileID, idx int64, data []byte) error {
+	if len(data) != PageSize {
+		return ErrBadPageSize
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchFile, id)
+	}
+	if idx < 0 || idx >= int64(len(f.pages)) {
+		return fmt.Errorf("%w: file %d page %d of %d", ErrOutOfRange, id, idx, len(f.pages))
+	}
+	key := pageKey{id, idx}
+	d.chargePlatter(key)
+	d.stats.PageWrites++
+	d.stats.BytesWritten += PageSize
+	page := make([]byte, PageSize)
+	copy(page, data)
+	f.pages[idx] = page
+	d.cache.Insert(key)
+	return nil
+}
+
+// AppendPage appends data as a new page at the end of the file and returns
+// its index. Appends to the file most recently touched at its tail are
+// sequential.
+func (d *Device) AppendPage(id FileID, data []byte) (int64, error) {
+	if len(data) != PageSize {
+		return 0, ErrBadPageSize
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoSuchFile, id)
+	}
+	idx := int64(len(f.pages))
+	key := pageKey{id, idx}
+	d.chargePlatter(key)
+	d.stats.PageWrites++
+	d.stats.BytesWritten += PageSize
+	page := make([]byte, PageSize)
+	copy(page, data)
+	f.pages = append(f.pages, page)
+	d.cache.Insert(key)
+	return idx, nil
+}
+
+// ReadRun reads n consecutive pages starting at start into a single buffer
+// of n*PageSize bytes. It is the sequential-scan primitive partitions and
+// merge files use.
+func (d *Device) ReadRun(id FileID, start, n int64) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("simdisk: negative run length %d", n)
+	}
+	buf := make([]byte, n*PageSize)
+	for i := int64(0); i < n; i++ {
+		if err := d.ReadPage(id, start+i, buf[i*PageSize:(i+1)*PageSize]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// chargePlatter advances the simulated clock for one platter access to key,
+// paying a seek unless the access continues the previous one. Callers hold
+// d.mu.
+func (d *Device) chargePlatter(key pageKey) {
+	sequential := d.lastValid && d.lastFile == key.file && key.page == d.lastPage+1
+	if sequential {
+		d.stats.SeqPages++
+	} else {
+		d.clock += d.cost.Seek
+		d.stats.Seeks++
+	}
+	d.clock += d.cost.Transfer
+	d.lastFile, d.lastPage, d.lastValid = key.file, key.page, true
+}
+
+// Clock returns the simulated time elapsed since creation or the last
+// ResetClock.
+func (d *Device) Clock() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.clock
+}
+
+// ResetClock zeroes the simulated clock (stats are unaffected).
+func (d *Device) ResetClock() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.clock = 0
+}
+
+// AdvanceClock adds a CPU-side cost to the simulated clock. Engines use it
+// to charge in-memory processing (e.g. intersection tests) so that CPU-bound
+// phases are not free; the default experiments leave CPU costs at zero,
+// matching the paper's disk-bound setting.
+func (d *Device) AdvanceClock(dt time.Duration) {
+	if dt <= 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.clock += dt
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the device counters.
+func (d *Device) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+}
+
+// DropCaches empties the buffer cache and forgets the head position, exactly
+// like the paper's methodology of overwriting OS caches before each query.
+func (d *Device) DropCaches() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.cache.Clear()
+	d.lastValid = false
+}
+
+// CachedPages returns the number of pages currently cached.
+func (d *Device) CachedPages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cache.Len()
+}
+
+// SetCacheCapacity resizes the buffer cache (in pages).
+func (d *Device) SetCacheCapacity(pages int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.cache.SetCapacity(pages)
+}
+
+// InjectReadFault arms a one-shot read error on (id, idx); the next platter
+// read of that page returns err instead of data. Tests use it to exercise
+// error paths through the storage stack.
+func (d *Device) InjectReadFault(id FileID, idx int64, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.readFaults[pageKey{id, idx}] = err
+}
+
+// TotalPages returns the number of pages across all files (disk usage).
+func (d *Device) TotalPages() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var total int64
+	for _, f := range d.files {
+		total += int64(len(f.pages))
+	}
+	return total
+}

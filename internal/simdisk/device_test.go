@@ -1,0 +1,349 @@
+package simdisk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func page(fill byte) []byte {
+	p := make([]byte, PageSize)
+	for i := range p {
+		p[i] = fill
+	}
+	return p
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	d := NewDefaultDevice(16)
+	f := d.CreateFile("data")
+	idx, err := d.AppendPage(f, page(0xAB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 {
+		t.Fatalf("first append idx = %d", idx)
+	}
+	buf := make([]byte, PageSize)
+	if err := d.ReadPage(f, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, page(0xAB)) {
+		t.Fatal("read data mismatch")
+	}
+	if n, _ := d.NumPages(f); n != 1 {
+		t.Fatalf("NumPages = %d", n)
+	}
+	name, err := d.FileName(f)
+	if err != nil || name != "data" {
+		t.Fatalf("FileName = %q, %v", name, err)
+	}
+}
+
+func TestWriteInPlace(t *testing.T) {
+	d := NewDefaultDevice(16)
+	f := d.CreateFile("data")
+	if _, err := d.AppendPage(f, page(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WritePage(f, 0, page(2)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	if err := d.ReadPage(f, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 2 {
+		t.Fatalf("in-place write not visible, got %d", buf[0])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	d := NewDefaultDevice(16)
+	f := d.CreateFile("data")
+	buf := make([]byte, PageSize)
+
+	if err := d.ReadPage(FileID(999), 0, buf); !errors.Is(err, ErrNoSuchFile) {
+		t.Errorf("read unknown file: %v", err)
+	}
+	if err := d.ReadPage(f, 0, buf); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("read past EOF: %v", err)
+	}
+	if err := d.ReadPage(f, -1, buf); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("read negative idx: %v", err)
+	}
+	if err := d.ReadPage(f, 0, make([]byte, 10)); !errors.Is(err, ErrBadPageSize) {
+		t.Errorf("short buffer: %v", err)
+	}
+	if _, err := d.AppendPage(f, make([]byte, 10)); !errors.Is(err, ErrBadPageSize) {
+		t.Errorf("short append: %v", err)
+	}
+	if err := d.WritePage(f, 5, page(0)); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("write past EOF: %v", err)
+	}
+	if err := d.DeleteFile(FileID(999)); !errors.Is(err, ErrNoSuchFile) {
+		t.Errorf("delete unknown file: %v", err)
+	}
+}
+
+func TestDeleteFile(t *testing.T) {
+	d := NewDefaultDevice(16)
+	f := d.CreateFile("data")
+	if _, err := d.AppendPage(f, page(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DeleteFile(f); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	if err := d.ReadPage(f, 0, buf); !errors.Is(err, ErrNoSuchFile) {
+		t.Errorf("read deleted file: %v", err)
+	}
+	if d.TotalPages() != 0 {
+		t.Errorf("TotalPages after delete = %d", d.TotalPages())
+	}
+}
+
+func TestSequentialVsRandomCost(t *testing.T) {
+	cost := CostModel{Seek: time.Millisecond, Transfer: time.Microsecond}
+	d := NewDevice(cost, 0) // no cache
+	f := d.CreateFile("data")
+	for i := 0; i < 10; i++ {
+		if _, err := d.AppendPage(f, page(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Appends: first pays a seek, the rest are sequential.
+	wantBuild := cost.Seek + 10*cost.Transfer
+	if got := d.Clock(); got != wantBuild {
+		t.Fatalf("build clock = %v, want %v", got, wantBuild)
+	}
+
+	d.ResetClock()
+	buf := make([]byte, PageSize)
+	// Sequential scan of all 10 pages: the first read follows the last
+	// append (page 9), so it pays a seek; the rest stream.
+	for i := int64(0); i < 10; i++ {
+		if err := d.ReadPage(f, i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantScan := cost.Seek + 10*cost.Transfer
+	if got := d.Clock(); got != wantScan {
+		t.Fatalf("sequential scan clock = %v, want %v", got, wantScan)
+	}
+
+	d.ResetClock()
+	// Random reads: every one seeks.
+	for _, i := range []int64{5, 2, 8, 1} {
+		if err := d.ReadPage(f, i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantRandom := 4 * (cost.Seek + cost.Transfer)
+	if got := d.Clock(); got != wantRandom {
+		t.Fatalf("random read clock = %v, want %v", got, wantRandom)
+	}
+}
+
+func TestCacheHitsAreCheap(t *testing.T) {
+	cost := CostModel{Seek: time.Millisecond, Transfer: time.Microsecond, CacheHit: time.Nanosecond}
+	d := NewDevice(cost, 8)
+	f := d.CreateFile("data")
+	if _, err := d.AppendPage(f, page(1)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	// Append populated the cache; this read is a hit.
+	d.ResetClock()
+	if err := d.ReadPage(f, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Clock(); got != cost.CacheHit {
+		t.Fatalf("cache-hit clock = %v, want %v", got, cost.CacheHit)
+	}
+	st := d.Stats()
+	if st.CacheHits != 1 {
+		t.Fatalf("CacheHits = %d", st.CacheHits)
+	}
+
+	// Dropping caches forces platter reads again.
+	d.DropCaches()
+	d.ResetClock()
+	if err := d.ReadPage(f, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Clock(); got != cost.Seek+cost.Transfer {
+		t.Fatalf("post-drop clock = %v", got)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	d := NewDevice(CostModel{Seek: 1, Transfer: 1, CacheHit: 0}, 2)
+	f := d.CreateFile("data")
+	for i := 0; i < 3; i++ {
+		if _, err := d.AppendPage(f, page(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Cache capacity 2: appends of pages 0,1,2 leave {1,2} cached.
+	if got := d.CachedPages(); got != 2 {
+		t.Fatalf("CachedPages = %d", got)
+	}
+	buf := make([]byte, PageSize)
+	if err := d.ReadPage(f, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.CacheHits != 0 {
+		t.Fatalf("page 0 should have been evicted; hits = %d", st.CacheHits)
+	}
+}
+
+func TestSetCacheCapacityShrinks(t *testing.T) {
+	d := NewDevice(CostModel{}, 10)
+	f := d.CreateFile("data")
+	for i := 0; i < 5; i++ {
+		if _, err := d.AppendPage(f, page(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.SetCacheCapacity(2)
+	if got := d.CachedPages(); got != 2 {
+		t.Fatalf("CachedPages after shrink = %d", got)
+	}
+	d.SetCacheCapacity(0)
+	if got := d.CachedPages(); got != 0 {
+		t.Fatalf("CachedPages after disable = %d", got)
+	}
+}
+
+func TestReadRun(t *testing.T) {
+	d := NewDefaultDevice(0)
+	f := d.CreateFile("data")
+	for i := 0; i < 4; i++ {
+		if _, err := d.AppendPage(f, page(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf, err := d.ReadRun(f, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 2*PageSize || buf[0] != 1 || buf[PageSize] != 2 {
+		t.Fatal("ReadRun returned wrong data")
+	}
+	if _, err := d.ReadRun(f, 3, 2); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("ReadRun past EOF: %v", err)
+	}
+	if _, err := d.ReadRun(f, 0, -1); err == nil {
+		t.Error("ReadRun negative length succeeded")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	d := NewDevice(CostModel{Seek: 1, Transfer: 1}, 4)
+	f := d.CreateFile("data")
+	for i := 0; i < 3; i++ {
+		if _, err := d.AppendPage(f, page(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.DropCaches()
+	buf := make([]byte, PageSize)
+	for i := int64(0); i < 3; i++ {
+		if err := d.ReadPage(f, i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.Stats()
+	if st.PageWrites != 3 || st.PageReads != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BytesRead != 3*PageSize || st.BytesWritten != 3*PageSize {
+		t.Fatalf("byte stats = %+v", st)
+	}
+	// writes: 1 seek + 2 seq; reads after drop: 1 seek + 2 seq
+	if st.Seeks != 2 || st.SeqPages != 4 {
+		t.Fatalf("seek stats = %+v", st)
+	}
+	d.ResetStats()
+	if d.Stats() != (Stats{}) {
+		t.Fatal("ResetStats did not zero")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{PageReads: 1, PageWrites: 2, CacheHits: 3, Seeks: 4, SeqPages: 5, BytesRead: 6, BytesWritten: 7}
+	b := a
+	a.Add(b)
+	want := Stats{PageReads: 2, PageWrites: 4, CacheHits: 6, Seeks: 8, SeqPages: 10, BytesRead: 12, BytesWritten: 14}
+	if a != want {
+		t.Fatalf("Add = %+v", a)
+	}
+}
+
+func TestInjectReadFault(t *testing.T) {
+	d := NewDefaultDevice(0)
+	f := d.CreateFile("data")
+	if _, err := d.AppendPage(f, page(1)); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("media error")
+	d.InjectReadFault(f, 0, boom)
+	buf := make([]byte, PageSize)
+	if err := d.ReadPage(f, 0, buf); !errors.Is(err, boom) {
+		t.Fatalf("fault not delivered: %v", err)
+	}
+	// One-shot: second read succeeds.
+	if err := d.ReadPage(f, 0, buf); err != nil {
+		t.Fatalf("fault not cleared: %v", err)
+	}
+}
+
+func TestAdvanceClock(t *testing.T) {
+	d := NewDefaultDevice(0)
+	d.AdvanceClock(5 * time.Millisecond)
+	if got := d.Clock(); got != 5*time.Millisecond {
+		t.Fatalf("Clock = %v", got)
+	}
+	d.AdvanceClock(-time.Second) // ignored
+	if got := d.Clock(); got != 5*time.Millisecond {
+		t.Fatalf("Clock after negative advance = %v", got)
+	}
+}
+
+func TestDefaultAndSSDCostModels(t *testing.T) {
+	if err := DefaultCostModel().Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := SSDCostModel().Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := CostModel{Seek: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative cost validated")
+	}
+	if DefaultCostModel().Seek <= SSDCostModel().Seek {
+		t.Error("SAS seek should exceed SSD seek")
+	}
+}
+
+func TestWriteIsolation(t *testing.T) {
+	// The device must copy page data on write so callers can reuse buffers.
+	d := NewDefaultDevice(4)
+	f := d.CreateFile("data")
+	buf := page(1)
+	if _, err := d.AppendPage(f, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99 // mutate caller buffer
+	out := make([]byte, PageSize)
+	if err := d.ReadPage(f, 0, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 {
+		t.Fatal("device aliased caller buffer")
+	}
+}

@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"fmt"
+
+	"spaceodyssey/internal/object"
+)
+
+// Combinations enumerates all k-element subsets of datasets 0..n-1 in
+// lexicographic order. It panics when k is outside [1, n]; for the paper's
+// n = 10 the largest result (k = 5) has 252 entries.
+func Combinations(n, k int) [][]object.DatasetID {
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("workload: combinations k=%d outside [1,%d]", k, n))
+	}
+	var out [][]object.DatasetID
+	cur := make([]object.DatasetID, 0, k)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cur) == k {
+			out = append(out, append([]object.DatasetID(nil), cur...))
+			return
+		}
+		// Prune: need k-len(cur) more elements from [start, n).
+		for i := start; i <= n-(k-len(cur)); i++ {
+			cur = append(cur, object.DatasetID(i))
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// Binomial returns C(n, k) without overflow for the small arguments used
+// here (n <= 30).
+func Binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	res := 1
+	for i := 0; i < k; i++ {
+		res = res * (n - i) / (i + 1)
+	}
+	return res
+}

@@ -1,0 +1,134 @@
+// Package workload generates the exploratory query workloads of the
+// evaluation: 3D range queries of fixed volume whose centers follow a
+// clustered or uniform spatial distribution, combined with a chooser that
+// selects which subset of datasets each query touches.
+//
+// The dataset-combination choosers follow Gray et al., "Quickly Generating
+// Billion-Record Synthetic Databases" (SIGMOD'94), as the paper specifies:
+// heavy hitter (one combination receives 50% of accesses), self-similar
+// (80–20), Zipf with exponent 2, and uniform.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// CombDist selects the distribution over dataset combinations.
+type CombDist int
+
+const (
+	// CombUniform picks combinations uniformly at random.
+	CombUniform CombDist = iota
+	// CombHeavyHitter sends HeavyHitterShare of queries to one combination
+	// and spreads the rest uniformly over the others.
+	CombHeavyHitter
+	// CombSelfSimilar uses the 80–20 self-similar distribution.
+	CombSelfSimilar
+	// CombZipf uses a Zipf distribution with exponent ZipfTheta.
+	CombZipf
+)
+
+// String implements fmt.Stringer.
+func (d CombDist) String() string {
+	switch d {
+	case CombUniform:
+		return "uniform"
+	case CombHeavyHitter:
+		return "heavy-hitter"
+	case CombSelfSimilar:
+		return "self-similar"
+	case CombZipf:
+		return "zipf"
+	}
+	return fmt.Sprintf("CombDist(%d)", int(d))
+}
+
+// IndexSampler draws indices in [0, n) under some skew.
+type IndexSampler func() int
+
+// NewUniformSampler returns a sampler uniform over [0, n).
+func NewUniformSampler(r *rand.Rand, n int) IndexSampler {
+	mustPositive(n)
+	return func() int { return r.Intn(n) }
+}
+
+// NewHeavyHitterSampler returns a sampler that yields index 0 with
+// probability share and otherwise a uniform index in [1, n). With n == 1
+// every draw is 0.
+func NewHeavyHitterSampler(r *rand.Rand, n int, share float64) IndexSampler {
+	mustPositive(n)
+	if share < 0 || share > 1 {
+		panic(fmt.Sprintf("workload: heavy-hitter share %v outside [0,1]", share))
+	}
+	return func() int {
+		if n == 1 || r.Float64() < share {
+			return 0
+		}
+		return 1 + r.Intn(n-1)
+	}
+}
+
+// NewSelfSimilarSampler returns Gray et al.'s self-similar sampler: a
+// fraction h of the draws fall on the first (1-h) fraction of the indices
+// (h = 0.8 gives the 80–20 rule), recursively at every scale.
+func NewSelfSimilarSampler(r *rand.Rand, n int, h float64) IndexSampler {
+	mustPositive(n)
+	if h <= 0 || h >= 1 {
+		panic(fmt.Sprintf("workload: self-similar h %v outside (0,1)", h))
+	}
+	exp := math.Log(1-h) / math.Log(h)
+	return func() int {
+		idx := int(float64(n) * math.Pow(r.Float64(), exp))
+		if idx >= n {
+			idx = n - 1
+		}
+		return idx
+	}
+}
+
+// NewZipfSampler returns a Zipf sampler over [0, n) with
+// P(i) ∝ 1/(i+1)^theta. The paper uses theta = 2.
+func NewZipfSampler(r *rand.Rand, n int, theta float64) IndexSampler {
+	mustPositive(n)
+	if theta <= 0 {
+		panic(fmt.Sprintf("workload: zipf theta %v must be positive", theta))
+	}
+	cdf := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return func() int {
+		u := r.Float64()
+		return sort.SearchFloat64s(cdf, u)
+	}
+}
+
+// NewSampler builds the sampler for dist over [0, n) with the given
+// parameters (share for heavy hitter, h for self-similar, theta for Zipf).
+func NewSampler(dist CombDist, r *rand.Rand, n int, share, h, theta float64) IndexSampler {
+	switch dist {
+	case CombUniform:
+		return NewUniformSampler(r, n)
+	case CombHeavyHitter:
+		return NewHeavyHitterSampler(r, n, share)
+	case CombSelfSimilar:
+		return NewSelfSimilarSampler(r, n, h)
+	case CombZipf:
+		return NewZipfSampler(r, n, theta)
+	}
+	panic(fmt.Sprintf("workload: unknown distribution %d", int(dist)))
+}
+
+func mustPositive(n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("workload: sampler domain size %d must be positive", n))
+	}
+}

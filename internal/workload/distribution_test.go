@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// drawHistogram samples the sampler and returns per-index counts.
+func drawHistogram(s IndexSampler, n, draws int) []int {
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		idx := s()
+		if idx < 0 || idx >= n {
+			panic("sampler out of range")
+		}
+		counts[idx]++
+	}
+	return counts
+}
+
+func TestUniformSamplerIsFlat(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	n, draws := 50, 100000
+	counts := drawHistogram(NewUniformSampler(r, n), n, draws)
+	mean := float64(draws) / float64(n)
+	for i, c := range counts {
+		if math.Abs(float64(c)-mean) > 5*math.Sqrt(mean) {
+			t.Errorf("index %d count %d deviates from mean %.0f", i, c, mean)
+		}
+	}
+}
+
+func TestHeavyHitterShare(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	n, draws := 20, 100000
+	counts := drawHistogram(NewHeavyHitterSampler(r, n, 0.5), n, draws)
+	share := float64(counts[0]) / float64(draws)
+	if math.Abs(share-0.5) > 0.02 {
+		t.Fatalf("hot index share = %.3f, want ~0.5", share)
+	}
+	// Remaining mass roughly uniform over the other n-1.
+	rest := draws - counts[0]
+	meanRest := float64(rest) / float64(n-1)
+	for i := 1; i < n; i++ {
+		if math.Abs(float64(counts[i])-meanRest) > 6*math.Sqrt(meanRest) {
+			t.Errorf("cold index %d count %d deviates from %.0f", i, counts[i], meanRest)
+		}
+	}
+}
+
+func TestHeavyHitterSingleItem(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	s := NewHeavyHitterSampler(r, 1, 0.5)
+	for i := 0; i < 100; i++ {
+		if s() != 0 {
+			t.Fatal("n=1 sampler returned nonzero")
+		}
+	}
+}
+
+func TestSelfSimilar8020(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	n, draws := 100, 200000
+	counts := drawHistogram(NewSelfSimilarSampler(r, n, 0.8), n, draws)
+	// 80% of draws should land in the first 20% of indices.
+	first20 := 0
+	for i := 0; i < n/5; i++ {
+		first20 += counts[i]
+	}
+	got := float64(first20) / float64(draws)
+	if math.Abs(got-0.8) > 0.02 {
+		t.Fatalf("first 20%% received %.3f of draws, want ~0.8", got)
+	}
+	// Recursive: first 4% should receive ~64%.
+	first4 := 0
+	for i := 0; i < n*4/100; i++ {
+		first4 += counts[i]
+	}
+	got4 := float64(first4) / float64(draws)
+	if math.Abs(got4-0.64) > 0.03 {
+		t.Fatalf("first 4%% received %.3f of draws, want ~0.64", got4)
+	}
+}
+
+func TestZipfShape(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	n, draws := 50, 300000
+	counts := drawHistogram(NewZipfSampler(r, n, 2), n, draws)
+	// P(0) for theta=2 over 50 items: 1 / sum(1/i^2) ≈ 1/1.625 ≈ 0.615.
+	var norm float64
+	for i := 1; i <= n; i++ {
+		norm += 1 / float64(i*i)
+	}
+	p0 := 1 / norm
+	got := float64(counts[0]) / float64(draws)
+	if math.Abs(got-p0) > 0.02 {
+		t.Fatalf("P(0) = %.3f, want ~%.3f", got, p0)
+	}
+	// Monotone non-increasing in expectation: compare coarse buckets.
+	if counts[0] < counts[1] || counts[1] < counts[10] {
+		t.Fatalf("zipf counts not decreasing: %d %d %d", counts[0], counts[1], counts[10])
+	}
+	// Ratio P(0)/P(1) ≈ 4 for theta=2.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 3 || ratio > 5 {
+		t.Fatalf("P(0)/P(1) = %.2f, want ~4", ratio)
+	}
+}
+
+func TestSamplersDeterministic(t *testing.T) {
+	for _, dist := range []CombDist{CombUniform, CombHeavyHitter, CombSelfSimilar, CombZipf} {
+		a := NewSampler(dist, rand.New(rand.NewSource(7)), 30, 0.5, 0.8, 2)
+		b := NewSampler(dist, rand.New(rand.NewSource(7)), 30, 0.5, 0.8, 2)
+		for i := 0; i < 1000; i++ {
+			if a() != b() {
+				t.Fatalf("%v: sampler not deterministic", dist)
+			}
+		}
+	}
+}
+
+func TestSamplerPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	cases := []func(){
+		func() { NewUniformSampler(r, 0) },
+		func() { NewHeavyHitterSampler(r, 10, 1.5) },
+		func() { NewSelfSimilarSampler(r, 10, 0) },
+		func() { NewSelfSimilarSampler(r, 10, 1) },
+		func() { NewZipfSampler(r, 10, 0) },
+		func() { NewSampler(CombDist(99), r, 10, 0.5, 0.8, 2) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCombDistString(t *testing.T) {
+	want := map[CombDist]string{
+		CombUniform: "uniform", CombHeavyHitter: "heavy-hitter",
+		CombSelfSimilar: "self-similar", CombZipf: "zipf",
+	}
+	for d, s := range want {
+		if d.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(d), d.String(), s)
+		}
+	}
+	if CombDist(42).String() != "CombDist(42)" {
+		t.Error("unknown dist name wrong")
+	}
+}
+
+// Property: all samplers stay in range for many domain sizes.
+func TestSamplersInRangeProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for _, n := range []int{1, 2, 3, 10, 252} {
+		for _, dist := range []CombDist{CombUniform, CombHeavyHitter, CombSelfSimilar, CombZipf} {
+			s := NewSampler(dist, r, n, 0.5, 0.8, 2)
+			for i := 0; i < 2000; i++ {
+				if got := s(); got < 0 || got >= n {
+					t.Fatalf("%v n=%d: sample %d out of range", dist, n, got)
+				}
+			}
+		}
+	}
+}
+
+// Property: Zipf CDF sampling covers all indices eventually for small theta.
+func TestZipfCoversDomain(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	n := 5
+	s := NewZipfSampler(r, n, 1.01)
+	seen := make(map[int]bool)
+	for i := 0; i < 50000 && len(seen) < n; i++ {
+		seen[s()] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("only %d of %d indices drawn", len(seen), n)
+	}
+	// Sanity: sorted keys are 0..n-1.
+	keys := make([]int, 0, n)
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for i, k := range keys {
+		if i != k {
+			t.Fatalf("missing index %d", i)
+		}
+	}
+}

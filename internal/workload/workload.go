@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"spaceodyssey/internal/geom"
+	"spaceodyssey/internal/object"
+)
+
+// RangeDist selects the spatial distribution of query centers.
+type RangeDist int
+
+const (
+	// RangeClustered draws query centers from Gaussians around a fixed set
+	// of cluster centers — the paper's skewed scenario.
+	RangeClustered RangeDist = iota
+	// RangeUniform draws query centers uniformly over the volume — the
+	// paper's worst case for adaptivity.
+	RangeUniform
+)
+
+// String implements fmt.Stringer.
+func (d RangeDist) String() string {
+	switch d {
+	case RangeClustered:
+		return "clustered"
+	case RangeUniform:
+		return "uniform"
+	}
+	return fmt.Sprintf("RangeDist(%d)", int(d))
+}
+
+// Query is one exploratory request: a spatial range evaluated against a
+// combination of datasets.
+type Query struct {
+	ID       int
+	Range    geom.Box
+	Datasets []object.DatasetID
+}
+
+// Config parametrizes workload generation with the paper's defaults.
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+	// NumQueries is the workload length (paper: 1000).
+	NumQueries int
+	// NumDatasets is n, the total number of datasets (paper: 10).
+	NumDatasets int
+	// DatasetsPerQuery is k, how many datasets each query touches
+	// (paper sweeps 1, 3, 5, 7, 9).
+	DatasetsPerQuery int
+	// Bounds is the explored volume; defaults to [0,1]^3.
+	Bounds geom.Box
+	// QueryVolumeFrac is the query volume as a fraction of the explored
+	// volume (paper: 1e-6, i.e. 10^-4 %). Queries are cubes.
+	QueryVolumeFrac float64
+	// RangeDist selects clustered or uniform query centers.
+	RangeDist RangeDist
+	// CombDist selects the dataset-combination chooser.
+	CombDist CombDist
+	// ClusterCenters is the number of query cluster centers (paper: 10;
+	// 5 in the merging experiment).
+	ClusterCenters int
+	// Centers optionally fixes the cluster centers explicitly; when set it
+	// overrides ClusterCenters.
+	Centers []geom.Vec
+	// SigmaFactor scales the Gaussian spread around a cluster center:
+	// sigma = SigmaFactor × query side. The paper states σ = qvol×10 with
+	// qvol = 1e-6; reading that as the variance of the normalized volume
+	// (σ² = 1e-5) gives σ ≈ 0.3 query sides — tight clusters, consistent
+	// with Figure 3's compact query blobs and with the ~25% merging gain
+	// of Figure 5c (which needs heavily revisited areas). Default 0.5.
+	SigmaFactor float64
+	// ZipfTheta is the Zipf exponent (paper: 2).
+	ZipfTheta float64
+	// SelfSimilarH is the self-similar skew (paper: 0.8 for 80–20).
+	SelfSimilarH float64
+	// HeavyHitterShare is the hot combination's share (paper: 0.5).
+	HeavyHitterShare float64
+}
+
+// withDefaults fills zero fields with the paper's defaults.
+func (c Config) withDefaults() Config {
+	if c.NumQueries <= 0 {
+		c.NumQueries = 1000
+	}
+	if c.NumDatasets <= 0 {
+		c.NumDatasets = 10
+	}
+	if c.DatasetsPerQuery <= 0 {
+		c.DatasetsPerQuery = 5
+	}
+	if c.Bounds.Volume() == 0 {
+		c.Bounds = geom.UnitBox()
+	}
+	if c.QueryVolumeFrac <= 0 {
+		c.QueryVolumeFrac = 1e-6
+	}
+	if c.ClusterCenters <= 0 {
+		c.ClusterCenters = 10
+	}
+	if c.SigmaFactor <= 0 {
+		c.SigmaFactor = 0.5
+	}
+	if c.ZipfTheta <= 0 {
+		c.ZipfTheta = 2
+	}
+	if c.SelfSimilarH <= 0 || c.SelfSimilarH >= 1 {
+		c.SelfSimilarH = 0.8
+	}
+	if c.HeavyHitterShare <= 0 || c.HeavyHitterShare > 1 {
+		c.HeavyHitterShare = 0.5
+	}
+	return c
+}
+
+// Workload is a generated query sequence plus the combination universe it
+// draws from.
+type Workload struct {
+	Queries      []Query
+	Combinations [][]object.DatasetID
+	Centers      []geom.Vec // query cluster centers (empty for uniform)
+	QuerySide    float64    // edge length of every query cube
+}
+
+// DistinctCombinations returns how many distinct dataset combinations the
+// generated queries actually touch (the paper reports it on the x axis of
+// Figure 4).
+func (w Workload) DistinctCombinations() int {
+	seen := make(map[string]struct{})
+	for _, q := range w.Queries {
+		key := ""
+		for _, ds := range q.Datasets {
+			key += fmt.Sprintf("%d,", ds)
+		}
+		seen[key] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Generate builds a deterministic workload from cfg.
+func Generate(cfg Config) (Workload, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DatasetsPerQuery > cfg.NumDatasets {
+		return Workload{}, fmt.Errorf(
+			"workload: k=%d exceeds n=%d", cfg.DatasetsPerQuery, cfg.NumDatasets)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	// Query cube side from the volume fraction.
+	side := math.Cbrt(cfg.QueryVolumeFrac * cfg.Bounds.Volume())
+
+	// Combination universe, shuffled so "popular" combinations are not
+	// biased toward lexicographically small ones.
+	combos := Combinations(cfg.NumDatasets, cfg.DatasetsPerQuery)
+	r.Shuffle(len(combos), func(i, j int) { combos[i], combos[j] = combos[j], combos[i] })
+	comboSampler := NewSampler(cfg.CombDist, r, len(combos),
+		cfg.HeavyHitterShare, cfg.SelfSimilarH, cfg.ZipfTheta)
+
+	// Cluster centers for the clustered range distribution.
+	centers := cfg.Centers
+	if cfg.RangeDist == RangeClustered && len(centers) == 0 {
+		centers = make([]geom.Vec, cfg.ClusterCenters)
+		for i := range centers {
+			centers[i] = uniformPoint(r, cfg.Bounds)
+		}
+	}
+	sigma := cfg.SigmaFactor * side
+
+	queries := make([]Query, cfg.NumQueries)
+	for i := range queries {
+		var center geom.Vec
+		switch cfg.RangeDist {
+		case RangeClustered:
+			base := centers[r.Intn(len(centers))]
+			center = geom.Vec{
+				X: base.X + r.NormFloat64()*sigma,
+				Y: base.Y + r.NormFloat64()*sigma,
+				Z: base.Z + r.NormFloat64()*sigma,
+			}
+		default:
+			center = uniformPoint(r, cfg.Bounds)
+		}
+		// Keep the whole query cube inside the explored volume.
+		center = clampCenter(center, cfg.Bounds, side/2)
+		queries[i] = Query{
+			ID:       i,
+			Range:    geom.Cube(center, side),
+			Datasets: combos[comboSampler()],
+		}
+	}
+	return Workload{
+		Queries:      queries,
+		Combinations: combos,
+		Centers:      centers,
+		QuerySide:    side,
+	}, nil
+}
+
+// uniformPoint samples a point uniformly inside b.
+func uniformPoint(r *rand.Rand, b geom.Box) geom.Vec {
+	s := b.Size()
+	return geom.Vec{
+		X: b.Min.X + r.Float64()*s.X,
+		Y: b.Min.Y + r.Float64()*s.Y,
+		Z: b.Min.Z + r.Float64()*s.Z,
+	}
+}
+
+// clampCenter clamps c so that a cube of half-side hs centered at c stays
+// inside b (assuming b is at least 2*hs wide in every dimension).
+func clampCenter(c geom.Vec, b geom.Box, hs float64) geom.Vec {
+	lo := b.Min.Add(geom.Splat(hs))
+	hi := b.Max.Sub(geom.Splat(hs))
+	return c.Max(lo).Min(hi)
+}

@@ -1,0 +1,81 @@
+// Package odyssey is the public API of the Space Odyssey reproduction: an
+// engine for efficient exploration of multiple spatial datasets that
+// incrementally indexes data as range queries arrive (no upfront indexing)
+// and reorganizes the on-disk layout so that areas of datasets queried
+// together are stored together.
+//
+// It reproduces Pavlovic et al., "Space Odyssey — Efficient Exploration of
+// Scientific Data" (ExploreDB/PODS 2016), including every baseline the
+// paper evaluates against. Storage runs on a deterministic simulated disk
+// (see internal/simdisk) so experiments are hardware-independent; the
+// simulated clock is the reported metric.
+//
+// Typical use:
+//
+//	ex, _ := odyssey.NewExplorer(odyssey.Options{})
+//	ex.AddDataset(0, objectsFromInstrumentA)
+//	ex.AddDataset(1, objectsFromInstrumentB)
+//	ex.AddDataset(2, objectsFromInstrumentC)
+//	hits, _ := ex.Query(odyssey.Cube(odyssey.V(0.5, 0.5, 0.5), 0.01),
+//		[]odyssey.DatasetID{0, 2})
+package odyssey
+
+import (
+	"spaceodyssey/internal/core"
+	"spaceodyssey/internal/geom"
+	"spaceodyssey/internal/object"
+	"spaceodyssey/internal/simdisk"
+	"spaceodyssey/internal/workload"
+)
+
+// Core geometric and record types, aliased from the internal packages so
+// values flow freely between the public API and the engine.
+type (
+	// Vec is a point in 3D space.
+	Vec = geom.Vec
+	// Box is a closed axis-aligned box.
+	Box = geom.Box
+	// Object is one spatial object (id, dataset, center, half-extent).
+	Object = object.Object
+	// DatasetID identifies a dataset.
+	DatasetID = object.DatasetID
+	// CostModel holds simulated-disk timing parameters.
+	CostModel = simdisk.CostModel
+	// DiskStats aggregates simulated-device activity.
+	DiskStats = simdisk.Stats
+	// Metrics exposes the engine's internal counters.
+	Metrics = core.Metrics
+	// Query couples a range with the datasets it targets.
+	Query = workload.Query
+	// MergeLevelPolicy selects the mixed-refinement-level merge strategy.
+	MergeLevelPolicy = core.LevelPolicy
+)
+
+// Merge level policies (paper §3.2.5).
+const (
+	// MergeSameLevel merges only equal-level partitions (paper default).
+	MergeSameLevel = core.SameLevel
+	// MergeRefineToFinest refines lagging datasets before merging.
+	MergeRefineToFinest = core.RefineToFinest
+	// MergeCoarsestCover merges at the coarsest covering cell.
+	MergeCoarsestCover = core.CoarsestCover
+)
+
+// Geometry constructors, re-exported for convenience.
+var (
+	// V constructs a Vec.
+	V = geom.V
+	// NewBox constructs a Box from min and max corners.
+	NewBox = geom.NewBox
+	// Cube constructs an axis-aligned cube from center and side.
+	Cube = geom.Cube
+	// BoxFromCenter constructs a Box from center and half-extent.
+	BoxFromCenter = geom.BoxFromCenter
+	// UnitBox returns [0,1]^3.
+	UnitBox = geom.UnitBox
+	// DefaultCostModel returns the SAS-disk cost model used by the paper's
+	// experiments.
+	DefaultCostModel = simdisk.DefaultCostModel
+	// SSDCostModel returns an SSD-like cost model for sensitivity runs.
+	SSDCostModel = simdisk.SSDCostModel
+)
