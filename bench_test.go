@@ -10,11 +10,13 @@ package odyssey
 
 import (
 	"testing"
+	"time"
 
 	"spaceodyssey/internal/bench"
 	"spaceodyssey/internal/core"
 	"spaceodyssey/internal/geom"
 	"spaceodyssey/internal/grid"
+	"spaceodyssey/internal/simdisk"
 	"spaceodyssey/internal/workload"
 )
 
@@ -328,6 +330,95 @@ func BenchmarkExplorerQuery(b *testing.B) {
 		if _, err := ex.Query(q, dss); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelQuery measures concurrent serving: the same converged
+// workload is driven serially and through QueryBatch pools of 1, 4 and 8
+// workers over a real-time emulated disk (platter charges sleep their
+// simulated duration, outside all locks), so worker pools genuinely overlap
+// simulated I/O the way a real deployment overlaps device latency. It
+// reports wall-clock throughput per configuration plus the 8-worker speedup
+// over serial, and records the series as a BENCH_parallel.json trajectory
+// via the internal/bench helpers.
+func BenchmarkParallelQuery(b *testing.B) {
+	const nQueries = 96
+	data := GenerateDatasets(DataConfig{Seed: 3, NumObjects: 4000, Clusters: 5}, 3)
+	w, err := GenerateWorkload(WorkloadConfig{
+		Seed: 11, NumQueries: nQueries, NumDatasets: 3, DatasetsPerQuery: 2,
+		QueryVolumeFrac: 1e-4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// newConverged builds a fresh Explorer, converges it on the workload
+	// with the disk purely virtual (instant), then switches on real-time
+	// emulation for the measured serving phase.
+	newConverged := func() *Explorer {
+		ex, err := NewExplorer(Options{
+			Cost:               simdisk.ReducedScaleCostModel(),
+			DropCachesPerQuery: true, // every query pays platter time, like the paper
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i, objs := range data {
+			if err := ex.AddDataset(DatasetID(i), objs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, q := range w.Queries {
+			if _, err := ex.Query(q.Range, q.Datasets); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ex.SetRealTimeScale(1)
+		return ex
+	}
+
+	run := func(workers int) (wall, sim time.Duration) {
+		ex := newConverged()
+		simStart := ex.Clock()
+		t0 := time.Now()
+		if workers == 0 {
+			for _, q := range w.Queries {
+				if _, err := ex.Query(q.Range, q.Datasets); err != nil {
+					b.Fatal(err)
+				}
+			}
+		} else {
+			if _, err := ex.QueryBatch(w.Queries, workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(t0), ex.Clock() - simStart
+	}
+
+	configs := []int{0, 1, 4, 8} // 0 = serial baseline
+	walls := make(map[int]time.Duration, len(configs))
+	sims := make(map[int]time.Duration, len(configs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, workers := range configs {
+			walls[workers], sims[workers] = run(workers)
+		}
+	}
+	b.StopTimer()
+
+	serial := walls[0]
+	b.ReportMetric(float64(nQueries)/serial.Seconds(), "serial_q/s")
+	b.ReportMetric(float64(nQueries)/walls[8].Seconds(), "8w_q/s")
+	b.ReportMetric(serial.Seconds()/walls[8].Seconds(), "speedup_8w")
+	b.ReportMetric(sims[0].Seconds(), "sim_sec_serial")
+
+	points := make([]bench.TrajectoryPoint, 0, len(configs))
+	for _, workers := range configs {
+		points = append(points, bench.NewTrajectoryPoint(
+			"parallel-query", workers, nQueries, walls[workers], sims[workers], serial))
+	}
+	if err := bench.WriteTrajectory("BENCH_parallel.json", points); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -7,9 +7,13 @@
 //	odyssey-bench -experiment all              # everything (slow)
 //	odyssey-bench -experiment fig4a -objects 20000 -queries 500
 //	odyssey-bench -experiment fig4a -verify    # check engines vs oracle first
+//	odyssey-bench -parallel 8                  # concurrent serving experiment
 //
 // The reported times are simulated disk seconds (deterministic), matching
-// the paper's disk-bound methodology; see DESIGN.md §3.
+// the paper's disk-bound methodology; see DESIGN.md §3. With -parallel N
+// the tool instead drives the converged workload through the Explorer's
+// worker pool on a real-time emulated disk and reports per-worker
+// throughput and the wall-clock speedup over serial serving.
 package main
 
 import (
@@ -22,8 +26,10 @@ import (
 	"strings"
 	"time"
 
+	odyssey "spaceodyssey"
 	"spaceodyssey/internal/bench"
 	"spaceodyssey/internal/datagen"
+	"spaceodyssey/internal/workload"
 )
 
 func main() {
@@ -42,6 +48,8 @@ func main() {
 		seekUS     = flag.Int("seek-us", 500, "simulated seek+rotational latency in microseconds (8000 = unscaled SAS; 500 = reduced-scale calibration, see DESIGN.md)")
 		transferUS = flag.Int("transfer-us", 25, "simulated per-page transfer time in microseconds")
 		csvDir     = flag.String("csv", "", "also write plot-ready CSV files into this directory")
+		parallel   = flag.Int("parallel", 0, "run the concurrent-serving experiment with this many pool workers (0 = off)")
+		rtScale    = flag.Float64("realtime-scale", 1.0, "wall-clock seconds slept per simulated second in the -parallel experiment")
 	)
 	flag.Parse()
 
@@ -83,6 +91,20 @@ func main() {
 		true:  {"fig4a", "fig4b", "fig4c", "fig4d", "fig5a", "fig5b", "fig5c"},
 		false: strings.Split(*experiment, ","),
 	}[*experiment == "all"]
+
+	if *parallel > 0 {
+		// The serving experiment has a fixed workload shape (fig4a's
+		// distributions); combining it with figure selection or oracle
+		// verification would silently measure something else.
+		if *verify {
+			fatalf("-verify is not supported with -parallel")
+		}
+		if *experiment != "all" {
+			fatalf("-experiment cannot be combined with -parallel (the serving workload is fixed to fig4a's distributions)")
+		}
+		runParallelServing(cfg, wcfg, *parallel, *rtScale)
+		return
+	}
 
 	env := bench.NewEnv(cfg)
 	fmt.Printf("environment: %d datasets x %d objects (%s), %d queries, qvol=%g, grid=%d^3\n\n",
@@ -133,6 +155,105 @@ func main() {
 			writeCSV(*csvDir, id, func(w io.Writer) error { return bench.WriteFigure5CSV(w, res) })
 		}
 		fmt.Printf("(%s completed in %.1fs wall time)\n\n", id, time.Since(start).Seconds())
+	}
+}
+
+// runParallelServing measures concurrent query serving: the configured
+// workload is converged once on a purely virtual disk, then replayed both
+// serially and through an Explorer worker pool with real-time emulation on
+// (platter charges sleep their scaled simulated duration), so the pool's
+// wall-clock speedup reflects genuinely overlapped I/O waits.
+func runParallelServing(cfg bench.Config, wcfg bench.WorkloadConfig, workers int, scale float64) {
+	spec, err := bench.FigureByID("fig4a")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	k := 3
+	if k > cfg.Datasets {
+		k = cfg.Datasets
+	}
+	w, err := workload.Generate(workload.Config{
+		Seed: wcfg.Seed, NumQueries: wcfg.Queries, NumDatasets: cfg.Datasets,
+		DatasetsPerQuery: k, QueryVolumeFrac: wcfg.QueryVolumeFrac,
+		RangeDist: spec.RangeDist, CombDist: spec.CombDist,
+		ClusterCenters: spec.ClusterCenters,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	data := datagen.GenerateDatasets(datagen.Config{
+		Seed: cfg.DataSeed, NumObjects: cfg.ObjectsPerDataset,
+		Bounds: cfg.Bounds, Layout: cfg.DataLayout,
+	}, cfg.Datasets)
+
+	newConverged := func() *odyssey.Explorer {
+		ex, err := odyssey.NewExplorer(odyssey.Options{
+			Bounds: cfg.Bounds, Cost: cfg.Cost, CachePages: cfg.CachePages,
+			DropCachesPerQuery: true,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for i, objs := range data {
+			if err := ex.AddDataset(odyssey.DatasetID(i), objs); err != nil {
+				fatalf("%v", err)
+			}
+		}
+		for _, q := range w.Queries {
+			if _, err := ex.Query(q.Range, q.Datasets); err != nil {
+				fatalf("converge: %v", err)
+			}
+		}
+		ex.SetRealTimeScale(scale)
+		return ex
+	}
+
+	fmt.Printf("concurrent serving: %d datasets x %d objects, %d queries, %d workers, realtime x%g\n\n",
+		cfg.Datasets, cfg.ObjectsPerDataset, wcfg.Queries, workers, scale)
+
+	// Serial baseline.
+	ex := newConverged()
+	sim0 := ex.Clock()
+	t0 := time.Now()
+	for _, q := range w.Queries {
+		if _, err := ex.Query(q.Range, q.Datasets); err != nil {
+			fatalf("serial: %v", err)
+		}
+	}
+	serialWall := time.Since(t0)
+	serialSim := ex.Clock() - sim0
+	fmt.Printf("serial:     %8.3fs wall  %8.3fs simulated  %7.1f q/s\n",
+		serialWall.Seconds(), serialSim.Seconds(),
+		float64(len(w.Queries))/serialWall.Seconds())
+
+	// Pooled run via the dispatcher, to surface per-worker stats.
+	ex = newConverged()
+	sim0 = ex.Clock()
+	d := odyssey.NewDispatcher(ex, workers)
+	out := make(chan odyssey.BatchResult, len(w.Queries))
+	t0 = time.Now()
+	for i, q := range w.Queries {
+		if err := d.Submit(i, q, out); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	d.Close()
+	poolWall := time.Since(t0)
+	poolSim := ex.Clock() - sim0
+	close(out)
+	for r := range out {
+		if r.Err != nil {
+			fatalf("worker %d query %d: %v", r.Worker, r.Index, r.Err)
+		}
+	}
+	fmt.Printf("%d workers: %8.3fs wall  %8.3fs simulated  %7.1f q/s  (%.2fx speedup)\n\n",
+		workers, poolWall.Seconds(), poolSim.Seconds(),
+		float64(len(w.Queries))/poolWall.Seconds(),
+		serialWall.Seconds()/poolWall.Seconds())
+	fmt.Println("per-worker throughput:")
+	for _, st := range d.WorkerStats() {
+		fmt.Printf("  worker %2d: %4d queries in %8.3fs busy  %7.1f q/s\n",
+			st.Worker, st.Queries, st.Busy.Seconds(), st.Throughput())
 	}
 }
 

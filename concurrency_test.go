@@ -1,0 +1,199 @@
+package odyssey
+
+// Race-mode oracle tests: many goroutines fire range queries at a shared
+// Explorer while the engine concurrently builds, refines and merges, and
+// every result set must equal the NaiveScan oracle's answer over the same
+// raw files. Run under `go test -race` these tests are the contract the
+// concurrent read/mutate locking discipline has to satisfy.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"spaceodyssey/internal/engine"
+	"spaceodyssey/internal/rawfile"
+)
+
+// oracleEnv is a shared Explorer plus the NaiveScan oracle over its raw
+// files.
+type oracleEnv struct {
+	ex     *Explorer
+	oracle *engine.NaiveScan
+	nds    int
+}
+
+// newOracleEnv builds an Explorer with nds generated datasets and the
+// oracle over the same raw files.
+func newOracleEnv(t testing.TB, opts Options, nds, objects int) *oracleEnv {
+	t.Helper()
+	ex, err := NewExplorer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := GenerateDatasets(DataConfig{Seed: 42, NumObjects: objects, Clusters: 4}, nds)
+	for i, objs := range data {
+		if err := ex.AddDataset(DatasetID(i), objs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raws := make([]*rawfile.Raw, 0, nds)
+	for _, raw := range ex.raws {
+		raws = append(raws, raw)
+	}
+	return &oracleEnv{ex: ex, oracle: engine.NewNaiveScan(raws), nds: nds}
+}
+
+// randomQuery draws either one of a small pool of popular queries (so
+// combinations cross the merge threshold and merge files are read back) or
+// a fresh random range over a random dataset subset.
+func (env *oracleEnv) randomQuery(rng *rand.Rand) Query {
+	var q Box
+	if rng.Intn(2) == 0 {
+		// Popular centers: repeated combos drive merging.
+		i := rng.Intn(8)
+		q = Cube(V(0.15+0.1*float64(i%4), 0.25+0.15*float64(i/4), 0.4), 0.05)
+	} else {
+		q = Cube(V(rng.Float64(), rng.Float64(), rng.Float64()), 0.01+0.1*rng.Float64())
+	}
+	k := 1 + rng.Intn(env.nds)
+	perm := rng.Perm(env.nds)[:k]
+	dss := make([]DatasetID, k)
+	for i, d := range perm {
+		dss[i] = DatasetID(d)
+	}
+	return Query{Range: q, Datasets: dss}
+}
+
+// check runs one query through the engine and the oracle and compares.
+func (env *oracleEnv) check(q Query) error {
+	got, err := env.ex.Query(q.Range, q.Datasets)
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	want, err := env.oracle.Query(q.Range, q.Datasets)
+	if err != nil {
+		return fmt.Errorf("oracle: %w", err)
+	}
+	if !engine.SameObjects(got, want) {
+		return fmt.Errorf("query %v over %v: engine returned %d objects, oracle %d",
+			q.Range, q.Datasets, len(got), len(want))
+	}
+	return nil
+}
+
+// runConcurrentOracle fires workers goroutines of queriesEach random
+// queries each at the shared Explorer, checking every result against the
+// oracle.
+func runConcurrentOracle(t *testing.T, env *oracleEnv, workers, queriesEach int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			for i := 0; i < queriesEach; i++ {
+				if err := env.check(env.randomQuery(rng)); err != nil {
+					errc <- fmt.Errorf("goroutine %d query %d: %w", g, i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentQueriesMatchOracle is the main equivalence suite: 8
+// goroutines of mixed popular/random queries, with the full pipeline
+// (incremental indexing, refinement, merging) adapting underneath.
+func TestConcurrentQueriesMatchOracle(t *testing.T) {
+	env := newOracleEnv(t, Options{}, 3, 2000)
+	runConcurrentOracle(t, env, 8, 20)
+	if m := env.ex.Metrics(); m.Queries != 8*20 {
+		t.Errorf("engine recorded %d queries, want %d", m.Queries, 8*20)
+	}
+}
+
+// TestConcurrentQueriesMatchOracleNoMerge runs the same suite with merging
+// disabled (the paper's ablation), so the octree read/refine split is
+// exercised without the merge step's exclusive phases.
+func TestConcurrentQueriesMatchOracleNoMerge(t *testing.T) {
+	env := newOracleEnv(t, Options{DisableMerging: true}, 3, 2000)
+	runConcurrentOracle(t, env, 8, 20)
+	if n := env.ex.MergeFileCount(); n != 0 {
+		t.Errorf("merging disabled but %d merge files exist", n)
+	}
+}
+
+// TestConcurrentQueriesSmallCache forces heavy cache-eviction traffic
+// through the sharded LRU while queries race (capacity far below the
+// working set, so shards churn constantly).
+func TestConcurrentQueriesSmallCache(t *testing.T) {
+	env := newOracleEnv(t, Options{CachePages: 64}, 3, 1500)
+	runConcurrentOracle(t, env, 8, 12)
+}
+
+// TestConcurrentAddDataset races dataset registration against a query
+// storm on the already-registered datasets, then verifies the newcomers
+// answer correctly too.
+func TestConcurrentAddDataset(t *testing.T) {
+	env := newOracleEnv(t, Options{}, 3, 1200)
+	extra := GenerateDatasets(DataConfig{Seed: 99, NumObjects: 800, Clusters: 3}, 5)[3:]
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 9)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(2000 + g)))
+			for i := 0; i < 10; i++ {
+				if err := env.check(env.randomQuery(rng)); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i, objs := range extra {
+			// GenerateDatasets tagged these with ids 3 and 4 already.
+			if err := env.ex.AddDataset(DatasetID(3+i), objs); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	if n := env.ex.NumDatasets(); n != 5 {
+		t.Fatalf("NumDatasets = %d, want 5", n)
+	}
+	// The oracle was built before the extra datasets existed; rebuild it
+	// and check a query spanning old and new data.
+	raws := make([]*rawfile.Raw, 0, 5)
+	for _, raw := range env.ex.raws {
+		raws = append(raws, raw)
+	}
+	env.oracle = engine.NewNaiveScan(raws)
+	env.nds = 5
+	q := Query{Range: Cube(V(0.5, 0.5, 0.5), 0.2), Datasets: []DatasetID{0, 2, 3, 4}}
+	if err := env.check(q); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,213 @@
+package odyssey
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// BatchResult is the outcome of one query executed by the worker pool.
+type BatchResult struct {
+	// Index identifies the query: its position in the QueryBatch slice, or
+	// its arrival order on the QueryConcurrent input channel.
+	Index int
+	// Query is the executed query.
+	Query Query
+	// Objects is the result set (nil when Err is set).
+	Objects []Object
+	// Worker is the pool worker that served the query.
+	Worker int
+	// Wall is the wall-clock time the query took on its worker.
+	Wall time.Duration
+	// Err is the query's error, if any.
+	Err error
+}
+
+// WorkerStats summarizes one pool worker's activity.
+type WorkerStats struct {
+	// Worker is the worker's index in the pool.
+	Worker int
+	// Queries is how many queries the worker served.
+	Queries int
+	// Busy is the wall-clock time the worker spent inside Explorer.Query.
+	Busy time.Duration
+}
+
+// Throughput returns the worker's queries per wall-clock second of busy
+// time (0 when idle).
+func (w WorkerStats) Throughput() float64 {
+	if w.Busy <= 0 {
+		return 0
+	}
+	return float64(w.Queries) / w.Busy.Seconds()
+}
+
+// Dispatcher is a bounded worker pool serving queries against one Explorer.
+// It is the concurrency front-end the batch APIs are built on: submit jobs
+// from any goroutine, close the dispatcher to drain, then read per-worker
+// statistics. A Dispatcher must not be reused after Close.
+type Dispatcher struct {
+	ex    *Explorer
+	jobs  chan dispatchJob
+	wg    sync.WaitGroup
+	stats []WorkerStats
+
+	// sendMu orders Submit (shared) against Close (exclusive) so a racing
+	// Submit can never send on the closed jobs channel.
+	sendMu  sync.RWMutex
+	closed  bool
+	closing sync.Once
+}
+
+type dispatchJob struct {
+	index int
+	query Query
+	out   chan<- BatchResult
+}
+
+// NewDispatcher starts a pool of the given number of workers over the
+// Explorer. workers <= 0 defaults to GOMAXPROCS.
+func NewDispatcher(ex *Explorer, workers int) *Dispatcher {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	d := &Dispatcher{
+		ex:    ex,
+		jobs:  make(chan dispatchJob, 2*workers),
+		stats: make([]WorkerStats, workers),
+	}
+	for w := 0; w < workers; w++ {
+		d.wg.Add(1)
+		go d.worker(w)
+	}
+	return d
+}
+
+// Workers returns the pool size.
+func (d *Dispatcher) Workers() int { return len(d.stats) }
+
+// Submit enqueues one query; its result is delivered on out. Submit blocks
+// when all workers are busy and the (bounded) queue is full — the
+// backpressure that keeps a heavy caller from buffering an unbounded
+// backlog. The out channel must have capacity for every result submitted to
+// it, or be drained concurrently; otherwise workers block delivering.
+// Submitting to a closed dispatcher returns ErrDispatcherClosed (racing a
+// concurrent Close is safe).
+func (d *Dispatcher) Submit(index int, q Query, out chan<- BatchResult) error {
+	d.sendMu.RLock()
+	defer d.sendMu.RUnlock()
+	if d.closed {
+		return ErrDispatcherClosed
+	}
+	d.jobs <- dispatchJob{index: index, query: q, out: out}
+	return nil
+}
+
+// ErrDispatcherClosed is returned by Submit after Close.
+var ErrDispatcherClosed = errors.New("odyssey: dispatcher closed")
+
+// Close stops accepting work and blocks until every submitted query has
+// finished. Safe to call more than once and concurrently with Submit.
+func (d *Dispatcher) Close() {
+	d.closing.Do(func() {
+		d.sendMu.Lock()
+		d.closed = true
+		d.sendMu.Unlock()
+		close(d.jobs)
+	})
+	d.wg.Wait()
+}
+
+// WorkerStats returns per-worker activity. Call after Close; during a run
+// the slice is being written by the workers.
+func (d *Dispatcher) WorkerStats() []WorkerStats {
+	out := make([]WorkerStats, len(d.stats))
+	copy(out, d.stats)
+	return out
+}
+
+// worker serves jobs until the queue closes. Each worker owns its stats
+// slot, so no locking is needed on the hot path.
+func (d *Dispatcher) worker(w int) {
+	defer d.wg.Done()
+	st := &d.stats[w]
+	st.Worker = w
+	for job := range d.jobs {
+		t0 := time.Now()
+		objs, err := d.ex.Query(job.query.Range, job.query.Datasets)
+		wall := time.Since(t0)
+		st.Queries++
+		st.Busy += wall
+		job.out <- BatchResult{
+			Index:   job.index,
+			Query:   job.query,
+			Objects: objs,
+			Worker:  w,
+			Wall:    wall,
+			Err:     err,
+		}
+	}
+}
+
+// QueryBatch executes all queries through a bounded worker pool of the
+// given parallelism and returns the results in input order. Each result
+// carries its own error; the returned error is the first per-query error in
+// input order (the remaining queries still run). workers <= 0 defaults to
+// GOMAXPROCS; workers == 1 degenerates to serial execution through one
+// worker.
+func (e *Explorer) QueryBatch(queries []Query, workers int) ([]BatchResult, error) {
+	d := NewDispatcher(e, workers)
+	// out is buffered for every result so workers never block on delivery
+	// and the submit loop below cannot deadlock against them.
+	out := make(chan BatchResult, len(queries))
+	for i, q := range queries {
+		// The dispatcher is private to this call, so Submit cannot observe
+		// it closed.
+		_ = d.Submit(i, q, out)
+	}
+	d.Close()
+	close(out)
+	results := make([]BatchResult, len(queries))
+	for r := range out {
+		results[r.Index] = r
+	}
+	var firstErr error
+	for i := range results {
+		if results[i].Err != nil {
+			firstErr = results[i].Err
+			break
+		}
+	}
+	return results, firstErr
+}
+
+// QueryConcurrent streams queries from a channel through a bounded worker
+// pool, delivering results on the returned channel as they complete (not in
+// input order — Index carries the arrival order). The result channel closes
+// once the input channel is closed and drained.
+//
+// Production and consumption must run concurrently: the pipeline's buffers
+// hold only a few in-flight queries (jobs 2x workers, results 1x), so a
+// caller that pushes every query into the input channel before reading any
+// results deadlocks once the buffers fill — feed the input from its own
+// goroutine (or select over both channels), as in the package tests. For a
+// fixed slice of queries, QueryBatch handles this for you. Likewise the
+// result channel must be consumed to completion: abandoning it while
+// queries are in flight blocks the pool's workers forever (per-query
+// cancellation is a planned follow-up; see ROADMAP). workers <= 0 defaults
+// to GOMAXPROCS.
+func (e *Explorer) QueryConcurrent(queries <-chan Query, workers int) <-chan BatchResult {
+	d := NewDispatcher(e, workers)
+	out := make(chan BatchResult, d.Workers())
+	go func() {
+		i := 0
+		for q := range queries {
+			_ = d.Submit(i, q, out) // private dispatcher, never closed here
+			i++
+		}
+		d.Close()
+		close(out)
+	}()
+	return out
+}

@@ -1,0 +1,155 @@
+package odyssey
+
+import (
+	"errors"
+	"testing"
+)
+
+// batchEnv builds a small explorer plus a fixed workload for pool tests.
+func batchEnv(t testing.TB) (*Explorer, []Query) {
+	t.Helper()
+	ex, err := NewExplorer(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := GenerateDatasets(DataConfig{Seed: 5, NumObjects: 1500, Clusters: 3}, 3)
+	for i, objs := range data {
+		if err := ex.AddDataset(DatasetID(i), objs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, err := GenerateWorkload(WorkloadConfig{
+		Seed: 9, NumQueries: 40, NumDatasets: 3, DatasetsPerQuery: 2,
+		QueryVolumeFrac: 2e-4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex, w.Queries
+}
+
+func TestQueryBatchMatchesSerial(t *testing.T) {
+	exSerial, queries := batchEnv(t)
+	want := make([][]Object, len(queries))
+	for i, q := range queries {
+		objs, err := exSerial.Query(q.Range, q.Datasets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = objs
+	}
+
+	exPar, _ := batchEnv(t)
+	results, err := exPar.QueryBatch(queries, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(queries) {
+		t.Fatalf("got %d results for %d queries", len(results), len(queries))
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Fatalf("result %d carries index %d", i, r.Index)
+		}
+		if r.Err != nil {
+			t.Fatalf("query %d failed: %v", i, r.Err)
+		}
+		if !sameObjects(r.Objects, want[i]) {
+			t.Errorf("query %d: batch returned %d objects, serial %d",
+				i, len(r.Objects), len(want[i]))
+		}
+	}
+}
+
+func TestQueryBatchReportsQueryError(t *testing.T) {
+	ex, queries := batchEnv(t)
+	bad := queries[3]
+	bad.Datasets = []DatasetID{99}
+	queries[3] = bad
+	results, err := ex.QueryBatch(queries, 4)
+	if err == nil {
+		t.Fatal("expected the unknown-dataset error to surface")
+	}
+	if results[3].Err == nil || !errors.Is(err, results[3].Err) {
+		t.Fatalf("first error %v does not match failing result's %v", err, results[3].Err)
+	}
+	for i, r := range results {
+		if i != 3 && r.Err != nil {
+			t.Errorf("healthy query %d failed: %v", i, r.Err)
+		}
+	}
+}
+
+func TestQueryConcurrentStreams(t *testing.T) {
+	ex, queries := batchEnv(t)
+	in := make(chan Query)
+	go func() {
+		for _, q := range queries {
+			in <- q
+		}
+		close(in)
+	}()
+	seen := make(map[int]bool)
+	total := 0
+	for r := range ex.QueryConcurrent(in, 4) {
+		if r.Err != nil {
+			t.Fatalf("query %d failed: %v", r.Index, r.Err)
+		}
+		if seen[r.Index] {
+			t.Fatalf("index %d delivered twice", r.Index)
+		}
+		seen[r.Index] = true
+		total++
+	}
+	if total != len(queries) {
+		t.Fatalf("streamed %d results for %d queries", total, len(queries))
+	}
+}
+
+func TestDispatcherWorkerStats(t *testing.T) {
+	ex, queries := batchEnv(t)
+	d := NewDispatcher(ex, 4)
+	if d.Workers() != 4 {
+		t.Fatalf("Workers = %d", d.Workers())
+	}
+	out := make(chan BatchResult, len(queries))
+	for i, q := range queries {
+		if err := d.Submit(i, q, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Close()
+	d.Close() // idempotent
+	if err := d.Submit(0, queries[0], out); err != ErrDispatcherClosed {
+		t.Fatalf("Submit after Close = %v, want ErrDispatcherClosed", err)
+	}
+	served := 0
+	for _, st := range d.WorkerStats() {
+		served += st.Queries
+		if st.Queries > 0 && st.Busy <= 0 {
+			t.Errorf("worker %d served %d queries in zero time", st.Worker, st.Queries)
+		}
+	}
+	if served != len(queries) {
+		t.Fatalf("workers served %d queries, want %d", served, len(queries))
+	}
+}
+
+// sameObjects compares two result sets ignoring order without mutating the
+// inputs' backing arrays beyond sorting copies.
+func sameObjects(a, b []Object) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	am := make(map[Object]int, len(a))
+	for _, o := range a {
+		am[o]++
+	}
+	for _, o := range b {
+		am[o]--
+		if am[o] < 0 {
+			return false
+		}
+	}
+	return true
+}

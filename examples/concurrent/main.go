@@ -1,0 +1,56 @@
+// Command concurrent demonstrates serving range queries from a worker pool:
+// three synthetic datasets are explored by 200 queries pushed through
+// Explorer.QueryBatch at increasing parallelism, with the simulated disk
+// emulating its latency in real time so the pool's overlap is visible in
+// wall-clock throughput.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	odyssey "spaceodyssey"
+)
+
+func main() {
+	workload, err := odyssey.GenerateWorkload(odyssey.WorkloadConfig{
+		Seed: 7, NumQueries: 200, NumDatasets: 3, DatasetsPerQuery: 2,
+		QueryVolumeFrac: 1e-4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4, 8} {
+		ex, err := odyssey.NewExplorer(odyssey.Options{DropCachesPerQuery: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, objs := range odyssey.GenerateDatasets(
+			odyssey.DataConfig{Seed: 1, NumObjects: 5000, Clusters: 4}, 3) {
+			if err := ex.AddDataset(odyssey.DatasetID(i), objs); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// Converge instantly on the virtual disk, then serve with the disk
+		// emulating its charges in real time.
+		if _, err := ex.QueryBatch(workload.Queries, workers); err != nil {
+			log.Fatal(err)
+		}
+		ex.SetRealTimeScale(1)
+
+		start := time.Now()
+		results, err := ex.QueryBatch(workload.Queries, workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wall := time.Since(start)
+		hits := 0
+		for _, r := range results {
+			hits += len(r.Objects)
+		}
+		fmt.Printf("%d worker(s): %3d queries, %5d objects, %7.1f q/s (%.3fs wall)\n",
+			workers, len(results), hits, float64(len(results))/wall.Seconds(), wall.Seconds())
+	}
+}

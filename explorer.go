@@ -2,6 +2,7 @@ package odyssey
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"spaceodyssey/internal/core"
@@ -53,6 +54,13 @@ type Options struct {
 	// matching the paper's measurement methodology (default false for API
 	// users; the benchmark harness always drops).
 	DropCachesPerQuery bool
+	// RealTimeScale, when positive, makes the simulated disk emulate its
+	// charged costs in wall-clock time (each charge sleeps scale times the
+	// simulated duration, outside all locks). Concurrent queries then
+	// genuinely overlap their simulated I/O waits — the serving behaviour
+	// QueryBatch/QueryConcurrent exist to exploit. 0 (default) keeps the
+	// disk purely virtual and instant.
+	RealTimeScale float64
 }
 
 // engineConfig translates Options into the internal configuration.
@@ -83,11 +91,24 @@ func (o Options) engineConfig() core.Config {
 // Explorer is the top-level handle for exploring spatial datasets with
 // Space Odyssey. It owns a simulated disk, the raw dataset files, and the
 // adaptive engine.
+//
+// An Explorer is safe for concurrent use: queries may run in parallel with
+// each other (see QueryBatch and QueryConcurrent for pooled execution) and
+// with AddDataset. Read-only queries proceed concurrently; queries that
+// trigger indexing, refinement or merging exclude other users of only the
+// affected datasets. AddDataset itself briefly excludes all queries — it
+// resets the simulated clock (registered data pre-exists the session), and
+// that reset must not land in the middle of an in-flight query's timing.
 type Explorer struct {
 	opts   Options
 	dev    *simdisk.Device
 	engine *core.Odyssey
-	raws   map[DatasetID]*rawfile.Raw
+
+	// mu guards raws, and orders queries (shared) against AddDataset
+	// (exclusive) so the device clock/stat resets in AddDataset never race
+	// in-flight timing measurements.
+	mu   sync.RWMutex
+	raws map[DatasetID]*rawfile.Raw
 }
 
 // NewExplorer creates an Explorer with the given options.
@@ -106,6 +127,9 @@ func NewExplorer(opts Options) (*Explorer, error) {
 		opts.CachePages = 1024
 	}
 	dev := simdisk.NewDevice(opts.Cost, opts.CachePages)
+	if opts.RealTimeScale > 0 {
+		dev.SetRealTimeScale(opts.RealTimeScale)
+	}
 	eng, err := core.New(dev, nil, opts.Bounds, opts.engineConfig())
 	if err != nil {
 		return nil, err
@@ -123,6 +147,8 @@ func NewExplorer(opts Options) (*Explorer, error) {
 // not count toward exploration time). Every object must carry the given
 // dataset id. The dataset is indexed lazily as queries touch it.
 func (e *Explorer) AddDataset(id DatasetID, objs []Object) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if _, dup := e.raws[id]; dup {
 		return fmt.Errorf("odyssey: dataset %d already added", id)
 	}
@@ -149,7 +175,11 @@ func (e *Explorer) AddDataset(id DatasetID, objs []Object) error {
 }
 
 // NumDatasets returns how many datasets have been added.
-func (e *Explorer) NumDatasets() int { return len(e.raws) }
+func (e *Explorer) NumDatasets() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.raws)
+}
 
 // Query returns all objects intersecting q in the requested datasets,
 // adapting the physical layout as a side effect (incremental indexing,
@@ -161,11 +191,16 @@ func (e *Explorer) Query(q Box, datasets []DatasetID) ([]Object, error) {
 
 // QueryTimed is Query plus the simulated latency of this query alone. When
 // Options.DropCachesPerQuery is set, the buffer cache is cleared first,
-// like the paper's cold-cache methodology.
+// like the paper's cold-cache methodology. The latency is a shared-clock
+// delta: when other queries run concurrently their charges are included, so
+// per-query timings are only meaningful for serial use (QueryBatch reports
+// aggregate simulated time instead).
 func (e *Explorer) QueryTimed(q Box, datasets []DatasetID) ([]Object, time.Duration, error) {
 	if len(datasets) == 0 {
 		return nil, 0, fmt.Errorf("odyssey: query names no datasets")
 	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if e.opts.DropCachesPerQuery {
 		e.dev.DropCaches()
 	}
@@ -179,6 +214,11 @@ func (e *Explorer) QueryTimed(q Box, datasets []DatasetID) ([]Object, time.Durat
 
 // Clock returns total simulated time spent since the session started.
 func (e *Explorer) Clock() time.Duration { return e.dev.Clock() }
+
+// SetRealTimeScale changes the real-time emulation scale at runtime (see
+// Options.RealTimeScale); 0 turns emulation off. Benchmarks use it to
+// converge an Explorer instantly and then measure serving wall time.
+func (e *Explorer) SetRealTimeScale(scale float64) { e.dev.SetRealTimeScale(scale) }
 
 // DiskStats returns the simulated device counters.
 func (e *Explorer) DiskStats() DiskStats { return e.dev.Stats() }
@@ -198,32 +238,36 @@ type DatasetInfo struct {
 	Refineable bool
 }
 
-// Dataset returns the indexing state of one dataset.
+// Dataset returns the indexing state of one dataset. The tree state is a
+// consistent snapshot taken under the dataset's read lock, so it is safe to
+// call while queries run.
 func (e *Explorer) Dataset(id DatasetID) (DatasetInfo, error) {
+	e.mu.RLock()
 	raw, ok := e.raws[id]
+	e.mu.RUnlock()
 	if !ok {
 		return DatasetInfo{}, fmt.Errorf("odyssey: unknown dataset %d", id)
 	}
-	tree := e.engine.Tree(id)
+	tree, _ := e.engine.TreeInfo(id)
 	info := DatasetInfo{
 		ID:       id,
 		Objects:  raw.NumObjects(),
 		RawPages: raw.NumPages(),
-		Indexed:  tree.Built(),
+		Indexed:  tree.Built,
 	}
-	if tree.Built() {
-		info.Leaves = tree.NumLeaves()
-		info.MaxExtent = tree.MaxExtent()
+	if tree.Built {
+		info.Leaves = tree.Leaves
+		info.MaxExtent = tree.MaxExtent
 		info.Refineable = true
 	}
 	return info, nil
 }
 
 // MergeFileCount returns how many merge files currently exist.
-func (e *Explorer) MergeFileCount() int { return e.engine.Merger().NumFiles() }
+func (e *Explorer) MergeFileCount() int { return e.engine.MergeFileCount() }
 
 // MergeSpacePages returns the disk space merge files occupy.
-func (e *Explorer) MergeSpacePages() int64 { return e.engine.Merger().TotalPages() }
+func (e *Explorer) MergeSpacePages() int64 { return e.engine.MergeSpacePages() }
 
 // TargetLevels predicts, via the paper's convergence equation, how many
 // queries must hit a level-1 partition before it converges for queries of

@@ -1,0 +1,3 @@
+module spaceodyssey
+
+go 1.24

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// TrajectoryPoint is one recorded measurement of a performance trajectory —
+// the benchmarks append these to BENCH_*.json files so successive revisions
+// of the engine leave a comparable series behind.
+type TrajectoryPoint struct {
+	// Name identifies the experiment (e.g. "parallel-query").
+	Name string `json:"name"`
+	// Workers is the pool parallelism (0 = serial baseline).
+	Workers int `json:"workers"`
+	// Queries is the workload size.
+	Queries int `json:"queries"`
+	// WallSeconds is measured wall-clock time for the workload.
+	WallSeconds float64 `json:"wall_seconds"`
+	// SimSeconds is the aggregate simulated disk time charged.
+	SimSeconds float64 `json:"sim_seconds"`
+	// QueriesPerSecond is wall-clock throughput.
+	QueriesPerSecond float64 `json:"queries_per_second"`
+	// SpeedupVsSerial is wall-clock throughput relative to the serial
+	// baseline of the same run (1.0 for the baseline itself).
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// NewTrajectoryPoint derives the throughput fields from raw measurements.
+func NewTrajectoryPoint(name string, workers, queries int, wall, sim, serialWall time.Duration) TrajectoryPoint {
+	p := TrajectoryPoint{
+		Name:        name,
+		Workers:     workers,
+		Queries:     queries,
+		WallSeconds: wall.Seconds(),
+		SimSeconds:  sim.Seconds(),
+	}
+	if wall > 0 {
+		p.QueriesPerSecond = float64(queries) / wall.Seconds()
+		if serialWall > 0 {
+			p.SpeedupVsSerial = serialWall.Seconds() / wall.Seconds()
+		}
+	}
+	return p
+}
+
+// WriteTrajectory writes points as an indented JSON array to path,
+// replacing any previous contents (each benchmark run records a complete,
+// self-consistent series).
+func WriteTrajectory(path string, points []TrajectoryPoint) error {
+	data, err := json.MarshalIndent(points, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"spaceodyssey/internal/geom"
 	"spaceodyssey/internal/object"
@@ -127,10 +128,22 @@ type MergerConfig struct {
 
 // Merger owns the merge files and the directory that maps combinations to
 // them (§3.2).
+//
+// Synchronization: the engine's layout lock serializes every structural
+// mutation (MergeOrExtend, EnforceBudget) against the shared read path
+// (Lookup, ReadSegment). The read path still mutates accounting state —
+// recency ticks, segment-read counts, the adaptive threshold — so those
+// fields live under the internal accMu, making Lookup/ReadSegment safe for
+// parallel readers.
 type Merger struct {
-	cfg       MergerConfig
-	dev       *simdisk.Device
-	files     map[ComboKey]*MergeFile
+	cfg   MergerConfig
+	dev   *simdisk.Device
+	files map[ComboKey]*MergeFile
+
+	// accMu guards the accounting fields mutated under the engine's shared
+	// (read) lock: tick, every MergeFile.lastUsed, segmentsRead,
+	// queriesSeen, currentMT and the threshold counters.
+	accMu     sync.Mutex
 	tick      int64
 	currentMT int // effective merge threshold (adapts when enabled)
 
@@ -187,7 +200,11 @@ func NewMerger(dev *simdisk.Device, cfg MergerConfig) *Merger {
 func (m *Merger) Config() MergerConfig { return m.cfg }
 
 // Threshold returns the current (possibly adapted) merge threshold mt.
-func (m *Merger) Threshold() int { return m.currentMT }
+func (m *Merger) Threshold() int {
+	m.accMu.Lock()
+	defer m.accMu.Unlock()
+	return m.currentMT
+}
 
 // OnQuery advances the adaptation clock; the engine calls it once per
 // query. When adaptation is enabled, every AdaptEvery queries the merger
@@ -198,6 +215,8 @@ func (m *Merger) OnQuery() {
 	if !m.cfg.AdaptiveThresholds {
 		return
 	}
+	m.accMu.Lock()
+	defer m.accMu.Unlock()
 	m.queriesSeen++
 	if m.queriesSeen%m.cfg.AdaptEvery != 0 || m.segmentsWritten == 0 {
 		return
@@ -230,7 +249,7 @@ func (m *Merger) TotalPages() int64 {
 func (m *Merger) Lookup(datasets []object.DatasetID) (*MergeFile, Relation) {
 	key := KeyOf(datasets)
 	if f, ok := m.files[key]; ok {
-		f.lastUsed = m.bump()
+		m.touch(f)
 		return f, RelExact
 	}
 	want := make(map[object.DatasetID]bool, len(datasets))
@@ -268,9 +287,32 @@ func (m *Merger) Lookup(datasets []object.DatasetID) (*MergeFile, Relation) {
 		}
 	}
 	if best != nil {
-		best.lastUsed = m.bump()
+		m.touch(best)
 	}
 	return best, bestRel
+}
+
+// NeedsMerge reports whether MergeOrExtend could possibly do work for the
+// combination: merging is allowed and some candidate partition is not yet
+// covered by the combination's merge file. It over-approximates (an
+// uncovered candidate may still fail level-policy qualification); the
+// engine layers a futility check on top so repeated no-op attempts do not
+// serialize steady-state traffic. Safe under the engine's shared lock, and
+// the candidate order is irrelevant.
+func (m *Merger) NeedsMerge(key ComboKey, datasets []object.DatasetID, candidates []octree.Key, fanout int) bool {
+	if len(datasets) < m.cfg.MinCombination || len(candidates) == 0 {
+		return false
+	}
+	mf := m.files[key]
+	if mf == nil {
+		return true
+	}
+	for _, cand := range candidates {
+		if _, covered := mf.covering(cand, fanout); !covered {
+			return true
+		}
+	}
+	return false
 }
 
 // MergeOrExtend creates the merge file for the combination if the
@@ -324,7 +366,7 @@ func (m *Merger) MergeOrExtend(
 		appended++
 	}
 	if mf != nil {
-		mf.lastUsed = m.bump()
+		m.touch(mf)
 	}
 	return appended, nil
 }
@@ -398,8 +440,10 @@ func (m *Merger) ReadSegment(mf *MergeFile, key octree.Key, ds object.DatasetID)
 	if !ok {
 		return nil, fmt.Errorf("merge file %s entry %v has no dataset %d", mf.combo, key, ds)
 	}
-	mf.lastUsed = m.bump()
+	m.touch(mf)
+	m.accMu.Lock()
 	m.segmentsRead++
+	m.accMu.Unlock()
 	file := mf.file
 	if seg.sharedFrom != "" {
 		owner, live := m.files[seg.sharedFrom]
@@ -407,7 +451,7 @@ func (m *Merger) ReadSegment(mf *MergeFile, key octree.Key, ds object.DatasetID)
 			return nil, fmt.Errorf("merge file %s entry %v: shared owner %s evicted",
 				mf.combo, key, seg.sharedFrom)
 		}
-		owner.lastUsed = m.bump()
+		m.touch(owner)
 		file = owner.file
 	}
 	return file.ReadRun(seg.run)
@@ -476,7 +520,11 @@ func EntryBox(bounds geom.Box, key octree.Key, fanout int) geom.Box {
 	return geom.NewBox(min, min.Add(size))
 }
 
-func (m *Merger) bump() int64 {
+// touch marks f as most recently used for budget eviction. Safe under the
+// engine's shared lock.
+func (m *Merger) touch(f *MergeFile) {
+	m.accMu.Lock()
 	m.tick++
-	return m.tick
+	f.lastUsed = m.tick
+	m.accMu.Unlock()
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"spaceodyssey/internal/geom"
@@ -34,7 +36,9 @@ func DefaultConfig() Config {
 
 // PhaseTimes breaks the engine's simulated time down by activity — the
 // adaptive analogue of the paper's indexing/querying split for static
-// engines (Figure 4's stacked bars).
+// engines (Figure 4's stacked bars). Under concurrent queries the phases
+// are attributed from shared-clock deltas, so overlapping queries can bleed
+// into each other's buckets; the total remains exact.
 type PhaseTimes struct {
 	// LevelZeroBuild is the in-situ first-touch partitioning of raw files.
 	LevelZeroBuild time.Duration
@@ -71,14 +75,53 @@ type Metrics struct {
 
 // Odyssey is the Space Odyssey engine: adaptive per-dataset octrees plus
 // cross-dataset merge files, orchestrated by the query processor in Query.
+//
+// All methods are safe for concurrent use. The locking discipline splits
+// the read path from the mutate path:
+//
+//   - mu (the layout lock) is held shared for the whole read side of a
+//     query — merge-file routing, the per-dataset tree walks, merge-segment
+//     reads — and exclusively only by layout mutations: the post-query merge
+//     step (MergeOrExtend + EnforceBudget) and AddRaw.
+//   - treeMu[ds] guards one dataset's octree. Queries take it shared when
+//     octree.Tree.NeedsWrite proves the walk is read-only, exclusive when
+//     the query must run the level-0 build or refine a partition — so
+//     refinement excludes only readers of the affected dataset, never the
+//     whole engine. The merge step takes the write lock of every member
+//     dataset (RefineTo can refine lagging trees).
+//   - statsMu guards the statistics collector and the metric counters;
+//     critical sections are a few map operations.
+//
+// Lock order is always mu -> treeMu[ds] -> statsMu; treeMu locks are never
+// nested during queries and are taken in sorted dataset order by the merge
+// step.
 type Odyssey struct {
 	dev    *simdisk.Device
 	cfg    Config
 	bounds geom.Box
+
+	mu     sync.RWMutex // layout lock: trees map membership + merger layout
 	trees  map[object.DatasetID]*octree.Tree
-	stats  *Collector
+	treeMu map[object.DatasetID]*sync.RWMutex
 	merger *Merger
 
+	// layoutEpoch counts physical-layout changes: level-0 builds,
+	// refinements (query- and merge-time) and merge-file evictions. The
+	// steady-state fast path uses it to recognize that a previously futile
+	// merge attempt cannot succeed now either.
+	layoutEpoch atomic.Int64
+	// futile (guarded by statsMu) records, per combination, the candidate
+	// count and layout epoch as of the last time merging was found to have
+	// no work: a MergeOrExtend attempt that appended nothing (candidates
+	// can be unmergeable under the level policy — e.g. a key one tree has
+	// refined past), or a NeedsMerge scan that found everything covered.
+	// While neither count nor epoch has changed, the merge step would be a
+	// no-op and both the exclusive lock and the coverage re-scan are
+	// skipped.
+	futile map[ComboKey]futileMark
+
+	statsMu        sync.Mutex // guards everything below
+	stats          *Collector
 	queries        int
 	partsFromTree  int
 	partsFromMerge int
@@ -90,6 +133,7 @@ type Odyssey struct {
 // queries arrive.
 func New(dev *simdisk.Device, raws []*rawfile.Raw, bounds geom.Box, cfg Config) (*Odyssey, error) {
 	trees := make(map[object.DatasetID]*octree.Tree, len(raws))
+	treeMu := make(map[object.DatasetID]*sync.RWMutex, len(raws))
 	for _, raw := range raws {
 		if _, dup := trees[raw.Dataset()]; dup {
 			return nil, fmt.Errorf("core: duplicate dataset %d", raw.Dataset())
@@ -99,22 +143,34 @@ func New(dev *simdisk.Device, raws []*rawfile.Raw, bounds geom.Box, cfg Config) 
 			return nil, err
 		}
 		trees[raw.Dataset()] = tree
+		treeMu[raw.Dataset()] = new(sync.RWMutex)
 	}
 	return &Odyssey{
 		dev:            dev,
 		cfg:            cfg,
 		bounds:         bounds,
 		trees:          trees,
+		treeMu:         treeMu,
+		futile:         make(map[ComboKey]futileMark),
 		stats:          NewCollector(),
 		merger:         NewMerger(dev, cfg.Merger),
 		relationCounts: make(map[Relation]int),
 	}, nil
 }
 
+// futileMark snapshots the state under which a merge attempt appended
+// nothing; see Odyssey.futile.
+type futileMark struct {
+	candidates int
+	epoch      int64
+}
+
 // AddRaw registers one more raw dataset with the engine. The dataset is
 // indexed lazily like any other; adding is cheap and can happen at any
-// point of the exploration session.
+// point of the exploration session, including concurrently with queries.
 func (o *Odyssey) AddRaw(raw *rawfile.Raw) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	if _, dup := o.trees[raw.Dataset()]; dup {
 		return fmt.Errorf("core: duplicate dataset %d", raw.Dataset())
 	}
@@ -123,6 +179,7 @@ func (o *Odyssey) AddRaw(raw *rawfile.Raw) error {
 		return err
 	}
 	o.trees[raw.Dataset()] = tree
+	o.treeMu[raw.Dataset()] = new(sync.RWMutex)
 	return nil
 }
 
@@ -138,60 +195,153 @@ func (o *Odyssey) Name() string {
 // indexing happens incrementally during Query.
 func (o *Odyssey) Build() error { return nil }
 
-// Tree returns the incremental index of one dataset (nil if unknown).
-func (o *Odyssey) Tree(ds object.DatasetID) *octree.Tree { return o.trees[ds] }
+// Tree returns the incremental index of one dataset (nil if unknown). The
+// tree itself is not synchronized; concurrent callers must not mutate it
+// while queries run (use TreeInfo for a consistent snapshot).
+func (o *Odyssey) Tree(ds object.DatasetID) *octree.Tree {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.trees[ds]
+}
 
-// Merger exposes the merger for inspection.
+// TreeInfo is a consistent snapshot of one dataset's indexing state.
+type TreeInfo struct {
+	Built       bool
+	Leaves      int
+	MaxExtent   geom.Vec
+	Refinements int
+}
+
+// TreeInfo snapshots a dataset's tree under its read lock; ok is false for
+// unknown datasets.
+func (o *Odyssey) TreeInfo(ds object.DatasetID) (info TreeInfo, ok bool) {
+	o.mu.RLock()
+	tree, lk := o.trees[ds], o.treeMu[ds]
+	if tree == nil {
+		o.mu.RUnlock()
+		return TreeInfo{}, false
+	}
+	lk.RLock()
+	info = TreeInfo{
+		Built:       tree.Built(),
+		Leaves:      tree.NumLeaves(),
+		MaxExtent:   tree.MaxExtent(),
+		Refinements: tree.Refinements,
+	}
+	lk.RUnlock()
+	o.mu.RUnlock()
+	return info, true
+}
+
+// Merger exposes the merger for inspection. The merger is synchronized only
+// through the engine's locks; single-threaded inspection only.
 func (o *Odyssey) Merger() *Merger { return o.merger }
 
-// Stats exposes the statistics collector for inspection.
+// MergeFileCount returns how many merge files currently exist.
+func (o *Odyssey) MergeFileCount() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.merger.NumFiles()
+}
+
+// MergeSpacePages returns the disk space merge files currently occupy.
+func (o *Odyssey) MergeSpacePages() int64 {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.merger.TotalPages()
+}
+
+// Stats exposes the statistics collector for inspection. The collector is
+// guarded by the engine during queries; single-threaded inspection only.
 func (o *Odyssey) Stats() *Collector { return o.stats }
 
 // Metrics returns a snapshot of the engine counters.
 func (o *Odyssey) Metrics() Metrics {
+	o.mu.RLock()
 	refinements := 0
 	built := 0
-	for _, t := range o.trees {
+	for ds, t := range o.trees {
+		lk := o.treeMu[ds]
+		lk.RLock()
 		refinements += t.Refinements
 		if t.Built() {
 			built++
 		}
+		lk.RUnlock()
 	}
+	m := Metrics{
+		Refinements:        refinements,
+		TreesBuilt:         built,
+		MergeFilesCreated:  o.merger.MergesCreated,
+		PartitionsMerged:   o.merger.PartitionsMerged,
+		MergeEvictions:     o.merger.Evictions,
+		SegmentsShared:     o.merger.SegmentsShared,
+		CurrentMergeThresh: o.merger.Threshold(),
+	}
+	o.mu.RUnlock()
+
+	o.statsMu.Lock()
+	m.Queries = o.queries
+	m.PartitionsFromTree = o.partsFromTree
+	m.PartitionsFromMerge = o.partsFromMerge
 	rel := make(map[Relation]int, len(o.relationCounts))
 	for k, v := range o.relationCounts {
 		rel[k] = v
 	}
-	return Metrics{
-		Queries:             o.queries,
-		Refinements:         refinements,
-		TreesBuilt:          built,
-		PartitionsFromTree:  o.partsFromTree,
-		PartitionsFromMerge: o.partsFromMerge,
-		MergeFilesCreated:   o.merger.MergesCreated,
-		PartitionsMerged:    o.merger.PartitionsMerged,
-		MergeEvictions:      o.merger.Evictions,
-		SegmentsShared:      o.merger.SegmentsShared,
-		CurrentMergeThresh:  o.merger.Threshold(),
-		RelationCounts:      rel,
-		Phases:              o.phases,
+	m.RelationCounts = rel
+	m.Phases = o.phases
+	o.statsMu.Unlock()
+	return m
+}
+
+// queryTree runs the per-dataset tree walk with the read/mutate split: a
+// shared lock when NeedsWrite proves the walk is read-only, an exclusive
+// lock when the query must build level 0 or refine. covered is the
+// side-effect-free merge-coverage predicate matching hook, so leaves served
+// from a merge file do not force the exclusive path. Because NeedsWrite is
+// evaluated under the shared lock and only Query mutates trees, the
+// read-only decision cannot be invalidated before the walk completes.
+func (o *Odyssey) queryTree(tree *octree.Tree, lk *sync.RWMutex, q geom.Box,
+	hook, covered func(*octree.Partition) bool) (octree.QueryResult, error) {
+	lk.RLock()
+	if !tree.NeedsWrite(q, covered) {
+		res, err := tree.Query(q, hook)
+		lk.RUnlock()
+		return res, err
 	}
+	lk.RUnlock()
+	lk.Lock()
+	built := tree.Built()
+	res, err := tree.Query(q, hook)
+	if res.Refined > 0 || (!built && tree.Built()) {
+		o.layoutEpoch.Add(1)
+	}
+	lk.Unlock()
+	return res, err
 }
 
 // Query implements engine.Engine: it executes the paper's full pipeline —
 // statistics, merge-file routing (exact / superset / subset / none),
 // incremental indexing with per-query refinement, merge-file reads, and the
-// post-query merge step.
+// post-query merge step. Queries may run concurrently; see the type comment
+// for the locking discipline.
 func (o *Odyssey) Query(q geom.Box, datasets []object.DatasetID) ([]object.Object, error) {
-	o.queries++
 	ordered := append([]object.DatasetID(nil), datasets...)
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	key := KeyOf(ordered)
+
+	o.mu.RLock()
 	for _, ds := range ordered {
 		if o.trees[ds] == nil {
+			o.mu.RUnlock()
 			return nil, fmt.Errorf("core: unknown dataset %d", ds)
 		}
 	}
-	key := KeyOf(ordered)
+
+	o.statsMu.Lock()
+	o.queries++
 	count := o.stats.RecordQuery(key)
+	o.statsMu.Unlock()
 
 	// Merge-file routing (§3.2.3).
 	var mf *MergeFile
@@ -199,7 +349,9 @@ func (o *Odyssey) Query(q geom.Box, datasets []object.DatasetID) ([]object.Objec
 	if !o.cfg.DisableMerging {
 		mf, rel = o.merger.Lookup(ordered)
 	}
+	o.statsMu.Lock()
 	o.relationCounts[rel]++
+	o.statsMu.Unlock()
 
 	// Per-dataset execution through the Adaptor. Partitions covered by the
 	// chosen merge file are served from it (and, per §3.2.2, not refined).
@@ -211,9 +363,10 @@ func (o *Odyssey) Query(q geom.Box, datasets []object.DatasetID) ([]object.Objec
 	servedLeaves := 0
 	var out []object.Object
 	var touched []octree.Key
+	var phases PhaseTimes
 	for _, ds := range ordered {
 		tree := o.trees[ds]
-		var hook func(*octree.Partition) bool
+		var hook, covered func(*octree.Partition) bool
 		if mf != nil && mf.memberOf[ds] {
 			ds := ds
 			fanout := tree.FanoutPerDim()
@@ -226,14 +379,19 @@ func (o *Odyssey) Query(q geom.Box, datasets []object.DatasetID) ([]object.Objec
 				servedLeaves++
 				return true
 			}
+			covered = func(p *octree.Partition) bool {
+				_, ok := mf.covering(p.Key(), fanout)
+				return ok
+			}
 		}
-		res, err := tree.Query(q, hook)
+		res, err := o.queryTree(tree, o.treeMu[ds], q, hook, covered)
 		if err != nil {
+			o.mu.RUnlock()
 			return nil, fmt.Errorf("core: dataset %d: %w", ds, err)
 		}
-		o.phases.LevelZeroBuild += res.BuildTime
-		o.phases.Refinement += res.RefineTime
-		o.phases.TreeReads += res.ReadTime
+		phases.LevelZeroBuild += res.BuildTime
+		phases.Refinement += res.RefineTime
+		phases.TreeReads += res.ReadTime
 		out = append(out, res.Objects...)
 		for _, p := range res.Touched {
 			touched = append(touched, p.Key())
@@ -256,6 +414,7 @@ func (o *Odyssey) Query(q geom.Box, datasets []object.DatasetID) ([]object.Objec
 		for _, r := range reads {
 			objs, err := o.merger.ReadSegment(mf, r.entry, r.ds)
 			if err != nil {
+				o.mu.RUnlock()
 				return nil, err
 			}
 			for _, obj := range objs {
@@ -264,28 +423,117 @@ func (o *Odyssey) Query(q geom.Box, datasets []object.DatasetID) ([]object.Objec
 				}
 			}
 		}
-		o.phases.MergeReads += o.dev.Clock() - t0
-		o.partsFromMerge += len(reads)
+		phases.MergeReads += o.dev.Clock() - t0
 	}
+
+	o.statsMu.Lock()
+	o.phases.LevelZeroBuild += phases.LevelZeroBuild
+	o.phases.Refinement += phases.Refinement
+	o.phases.TreeReads += phases.TreeReads
+	o.phases.MergeReads += phases.MergeReads
+	o.partsFromMerge += len(servedSet)
 	o.partsFromTree += len(touched) - servedLeaves
 	o.stats.RecordPartitions(key, touched)
+	o.statsMu.Unlock()
+
+	o.merger.OnQuery()
+	doMerge := !o.cfg.DisableMerging && count >= o.merger.Threshold()
+	if doMerge {
+		// Steady-state fast path: skip the exclusive merge step when it
+		// would provably be a no-op — either every accumulated partition is
+		// already covered by the combination's merge file, or the last
+		// attempt was futile and nothing it depends on (candidate set,
+		// physical layout) has changed since. Without this, every
+		// post-threshold query would barrier the whole engine on the layout
+		// lock.
+		epoch := o.layoutEpoch.Load()
+		o.statsMu.Lock()
+		nCand := o.stats.NumPartitions(key)
+		mark, tried := o.futile[key]
+		o.statsMu.Unlock()
+		if tried && nCand <= mark.candidates && epoch == mark.epoch {
+			doMerge = false
+		} else if nCand == 0 {
+			doMerge = false
+		} else {
+			fanout := o.trees[ordered[0]].FanoutPerDim()
+			o.statsMu.Lock()
+			candidates := o.stats.PartitionsUnsorted(key)
+			o.statsMu.Unlock()
+			doMerge = o.merger.NeedsMerge(key, ordered, candidates, fanout)
+			if !doMerge {
+				// Everything covered: memoize so converged steady-state
+				// traffic skips even this coverage scan next time.
+				o.statsMu.Lock()
+				o.futile[key] = futileMark{candidates: nCand, epoch: epoch}
+				o.statsMu.Unlock()
+			}
+		}
+	}
+	o.mu.RUnlock()
 
 	// Post-query merge step (§3.2.1): once the combination crossed mt,
 	// merge (or extend the merge file with) every qualifying partition.
-	o.merger.OnQuery()
-	if !o.cfg.DisableMerging && count >= o.merger.Threshold() {
-		t0 := o.dev.Clock()
-		if _, err := o.merger.MergeOrExtend(key, ordered, o.stats.Partitions(key), o.trees); err != nil {
-			return nil, err
+	// Layout reorganization takes the exclusive layout lock plus the write
+	// lock of every member dataset (RefineTo may refine lagging trees).
+	if doMerge {
+		o.mu.Lock()
+		for _, ds := range ordered {
+			o.treeMu[ds].Lock()
 		}
-		evicted, err := o.merger.EnforceBudget()
+		o.statsMu.Lock()
+		candidates := o.stats.Partitions(key)
+		o.statsMu.Unlock()
+		refBefore := 0
+		for _, ds := range ordered {
+			refBefore += o.trees[ds].Refinements
+		}
+		t0 := o.dev.Clock()
+		appended, err := o.merger.MergeOrExtend(key, ordered, candidates, o.trees)
+		var evicted []ComboKey
+		if err == nil {
+			evicted, err = o.merger.EnforceBudget()
+		}
+		dt := o.dev.Clock() - t0
+		refAfter := 0
+		for _, ds := range ordered {
+			refAfter += o.trees[ds].Refinements
+		}
+		if err == nil {
+			// Advance the epoch only on real layout change (appends,
+			// merge-time refinement, evictions) — a no-op attempt must not
+			// invalidate other combinations' futile marks, or two stuck
+			// combinations would ping-pong exclusive retries forever.
+			if appended > 0 || refAfter != refBefore || len(evicted) > 0 {
+				o.layoutEpoch.Add(1)
+			}
+			o.statsMu.Lock()
+			if appended == 0 {
+				o.futile[key] = futileMark{candidates: len(candidates), epoch: o.layoutEpoch.Load()}
+			} else {
+				delete(o.futile, key)
+			}
+			// Reset evicted combinations' statistics before releasing the
+			// layout lock: a concurrent query that observed the eviction
+			// with stale pre-eviction counts would immediately re-merge
+			// the combination from its old candidates, thrashing the
+			// budget. Evicted combinations must re-earn merging from zero.
+			for _, combo := range evicted {
+				delete(o.futile, combo)
+				o.stats.Reset(combo)
+			}
+			o.statsMu.Unlock()
+		}
+		for i := len(ordered) - 1; i >= 0; i-- {
+			o.treeMu[ordered[i]].Unlock()
+		}
+		o.mu.Unlock()
 		if err != nil {
 			return nil, err
 		}
-		for _, combo := range evicted {
-			o.stats.Reset(combo)
-		}
-		o.phases.MergeWrites += o.dev.Clock() - t0
+		o.statsMu.Lock()
+		o.phases.MergeWrites += dt
+		o.statsMu.Unlock()
 	}
 	return out, nil
 }

@@ -72,6 +72,23 @@ func (c *Collector) RecordPartitions(key ComboKey, parts []octree.Key) {
 // Count returns how many times the combination has been queried.
 func (c *Collector) Count(key ComboKey) int { return c.counts[key] }
 
+// NumPartitions returns the size of the combination's accumulated partition
+// set without copying it.
+func (c *Collector) NumPartitions(key ComboKey) int { return len(c.partitions[key]) }
+
+// PartitionsUnsorted returns a copy of the combination's accumulated
+// partition keys in map order. Callers that do not need the deterministic
+// layout order of Partitions (e.g. coverage checks) use it to skip the
+// sort.
+func (c *Collector) PartitionsUnsorted(key ComboKey) []octree.Key {
+	set := c.partitions[key]
+	out := make([]octree.Key, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	return out
+}
+
 // Partitions returns the accumulated partition keys of the combination in a
 // deterministic order.
 func (c *Collector) Partitions(key ComboKey) []octree.Key {

@@ -1,0 +1,81 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzBox turns two unconstrained fuzzer vectors into a valid box by using
+// one as the center and the other's magnitudes as the half-extent.
+func fuzzBox(cx, cy, cz, hx, hy, hz float64) (Box, bool) {
+	for _, v := range []float64{cx, cy, cz, hx, hy, hz} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+			return Box{}, false
+		}
+	}
+	return BoxFromCenter(V(cx, cy, cz), V(math.Abs(hx), math.Abs(hy), math.Abs(hz))), true
+}
+
+// FuzzBoxIntersect checks the box-predicate algebra on arbitrary valid
+// boxes: intersection is symmetric, containment implies intersection, the
+// computed overlap box is consistent with the predicate, and every box
+// intersects and contains itself.
+func FuzzBoxIntersect(f *testing.F) {
+	f.Add(0.5, 0.5, 0.5, 0.1, 0.1, 0.1, 0.5, 0.5, 0.5, 0.2, 0.2, 0.2)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.5, 0.5, 0.5)
+	f.Add(-3.0, 2.0, 7.5, 1.0, 0.25, 2.0, 4.0, 2.0, -1.0, 8.0, 0.5, 10.0)
+	f.Fuzz(func(t *testing.T,
+		acx, acy, acz, ahx, ahy, ahz float64,
+		bcx, bcy, bcz, bhx, bhy, bhz float64) {
+		a, ok := fuzzBox(acx, acy, acz, ahx, ahy, ahz)
+		if !ok {
+			t.Skip()
+		}
+		b, ok := fuzzBox(bcx, bcy, bcz, bhx, bhy, bhz)
+		if !ok {
+			t.Skip()
+		}
+
+		if a.Intersects(b) != b.Intersects(a) {
+			t.Fatalf("intersection not symmetric: %v vs %v", a, b)
+		}
+		if !a.Intersects(a) || !a.Contains(a) {
+			t.Fatalf("box does not intersect/contain itself: %v", a)
+		}
+		if a.Contains(b) && !a.Intersects(b) {
+			t.Fatalf("containment without intersection: %v contains %v", a, b)
+		}
+		if b.Contains(a) && !b.Intersects(a) {
+			t.Fatalf("containment without intersection: %v contains %v", b, a)
+		}
+
+		inter, nonEmpty := a.Intersection(b)
+		if nonEmpty != a.Intersects(b) {
+			t.Fatalf("Intersection non-empty=%v disagrees with Intersects=%v for %v, %v",
+				nonEmpty, a.Intersects(b), a, b)
+		}
+		if nonEmpty {
+			if !inter.Valid() {
+				t.Fatalf("invalid overlap box %v", inter)
+			}
+			if !a.Contains(inter) || !b.Contains(inter) {
+				t.Fatalf("overlap %v escapes its operands %v, %v", inter, a, b)
+			}
+			// The overlap of x with itself is x.
+			again, ok := inter.Intersection(inter)
+			if !ok || again != inter {
+				t.Fatalf("self-intersection of %v changed it", inter)
+			}
+		}
+		if d := a.Dist(b); (d == 0) != a.Intersects(b) {
+			t.Fatalf("Dist=%v disagrees with Intersects=%v for %v, %v",
+				d, a.Intersects(b), a, b)
+		}
+
+		// The union must contain both operands and intersect both.
+		u := a.Union(b)
+		if !u.Contains(a) || !u.Contains(b) {
+			t.Fatalf("union %v misses an operand", u)
+		}
+	})
+}

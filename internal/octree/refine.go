@@ -72,6 +72,33 @@ func (t *Tree) Refine(p *Partition) ([]object.Object, error) {
 	return objs, nil
 }
 
+// NeedsWrite reports whether answering q could mutate the tree: either the
+// level-0 build has not run yet, or some leaf the (extended) query window
+// hits qualifies for refinement. servedElsewhere, when non-nil, mirrors
+// Query's serveFromStore hook: leaves it claims are served from a merge
+// file are neither read nor refined by Query (§3.2.2), so they do not count
+// as pending writes — without this, a partition merged before converging
+// would keep the exclusive lock engaged on every query forever. Concurrent
+// callers use NeedsWrite to decide between a shared and an exclusive tree
+// lock before calling Query; it performs no I/O, and the predicate must be
+// read-only. A false answer is stable for as long as the caller excludes
+// writers, since only Query itself builds or refines.
+func (t *Tree) NeedsWrite(q geom.Box, servedElsewhere func(*Partition) bool) bool {
+	if !t.built {
+		return true
+	}
+	qVol := q.Volume()
+	for _, leaf := range t.Lookup(q.Expand(t.maxExtent)) {
+		if servedElsewhere != nil && servedElsewhere(leaf) {
+			continue
+		}
+		if t.NeedsRefinement(leaf, qVol) {
+			return true
+		}
+	}
+	return false
+}
+
 // QueryResult carries the outcome of a single-tree range query.
 type QueryResult struct {
 	// Objects are the dataset's objects intersecting the query range.

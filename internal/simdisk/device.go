@@ -3,7 +3,9 @@ package simdisk
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -45,31 +47,64 @@ func (s *Stats) Add(o Stats) {
 	s.BytesWritten += o.BytesWritten
 }
 
-// file is one page file stored entirely in memory.
+// file is one page file stored entirely in memory. Its pages are guarded by
+// a per-file RWMutex so parallel readers of the same file never serialize on
+// device-wide state.
 type file struct {
-	name  string
-	pages [][]byte
+	name    string
+	mu      sync.RWMutex
+	pages   [][]byte
+	deleted bool
 }
 
 // Device is a simulated disk: a set of page files, a cost model, a buffer
-// cache and a simulated clock. All methods are safe for concurrent use,
-// though the experiments (like the paper's) are single-threaded.
+// cache and a simulated clock. All methods are safe for concurrent use, and
+// the locking is fine-grained so parallel readers scale:
+//
+//   - the files map has its own RWMutex (file create/delete exclusive,
+//     lookups shared);
+//   - each file's pages have a per-file RWMutex (reads shared, writes and
+//     appends exclusive per file);
+//   - the buffer cache is a sharded LRU — cache hits contend only on one
+//     shard's mutex, with per-shard hit counters aggregated on read;
+//   - the simulated clock and the byte/page counters are atomics;
+//   - only the platter head position (sequential-run detection) is a single
+//     short mutex, serializing exactly the accesses a single-armed disk
+//     serializes anyway: cache misses.
 type Device struct {
-	mu    sync.Mutex
-	cost  CostModel
-	clock time.Duration
+	cost CostModel
+
+	mu    sync.RWMutex // guards files map membership and id allocation
 	files map[FileID]*file
 	next  FileID
-	cache *lruCache
-	stats Stats
 
-	// sequential-run detection
+	clock atomic.Int64 // simulated elapsed nanoseconds
+	cache *shardedCache
+
+	// device counters (Stats), all atomics; CacheHits lives in the cache's
+	// per-shard counters.
+	pageReads    atomic.Int64
+	pageWrites   atomic.Int64
+	seeks        atomic.Int64
+	seqPages     atomic.Int64
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+
+	// platterMu guards the head position for sequential-run detection.
+	platterMu sync.Mutex
 	lastFile  FileID
 	lastPage  int64
 	lastValid bool
 
-	// failure injection: pages that return an error on next platter read
-	readFaults map[pageKey]error
+	// failure injection: pages that return an error on next platter read.
+	// faultsArmed lets the hot path skip the mutex when no faults are set.
+	faultMu     sync.Mutex
+	faultsArmed atomic.Int32
+	readFaults  map[pageKey]error
+
+	// realTime holds the float64 bits of the real-time emulation scale
+	// (0 = off). See SetRealTimeScale.
+	realTime atomic.Uint64
 }
 
 // NewDevice creates a Device with the given cost model and buffer-cache
@@ -82,7 +117,7 @@ func NewDevice(cost CostModel, cacheCapacity int) *Device {
 		cost:       cost,
 		files:      make(map[FileID]*file),
 		next:       1,
-		cache:      newLRUCache(cacheCapacity),
+		cache:      newShardedCache(cacheCapacity),
 		readFaults: make(map[pageKey]error),
 	}
 }
@@ -91,6 +126,17 @@ func NewDevice(cost CostModel, cacheCapacity int) *Device {
 // cache of cachePages pages.
 func NewDefaultDevice(cachePages int) *Device {
 	return NewDevice(DefaultCostModel(), cachePages)
+}
+
+// lookup resolves a file handle under the shared map lock.
+func (d *Device) lookup(id FileID) (*file, error) {
+	d.mu.RLock()
+	f, ok := d.files[id]
+	d.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchFile, id)
+	}
+	return f, nil
 }
 
 // CreateFile allocates a new empty page file and returns its handle.
@@ -107,71 +153,101 @@ func (d *Device) CreateFile(name string) FileID {
 // merge files under the space budget goes through here.
 func (d *Device) DeleteFile(id FileID) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	if _, ok := d.files[id]; !ok {
+	f, ok := d.files[id]
+	if !ok {
+		d.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrNoSuchFile, id)
 	}
 	delete(d.files, id)
+	d.mu.Unlock()
+	// Mark the struct deleted under its write lock: in-flight readers that
+	// resolved the handle before the map removal either finish first (and
+	// any cache entries they insert are purged below) or observe the flag
+	// and fail — no page of a deleted file can linger in the cache.
+	f.mu.Lock()
+	f.deleted = true
+	f.mu.Unlock()
 	d.cache.RemoveFile(id)
+	d.platterMu.Lock()
 	if d.lastValid && d.lastFile == id {
 		d.lastValid = false
 	}
+	d.platterMu.Unlock()
 	return nil
 }
 
 // FileName returns the debug name a file was created with.
 func (d *Device) FileName(id FileID) (string, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	f, ok := d.files[id]
-	if !ok {
-		return "", fmt.Errorf("%w: %d", ErrNoSuchFile, id)
+	f, err := d.lookup(id)
+	if err != nil {
+		return "", err
 	}
 	return f.name, nil
 }
 
 // NumPages returns the current length of the file in pages.
 func (d *Device) NumPages(id FileID) (int64, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	f, ok := d.files[id]
-	if !ok {
+	f, err := d.lookup(id)
+	if err != nil {
+		return 0, err
+	}
+	f.mu.RLock()
+	n := int64(len(f.pages))
+	f.mu.RUnlock()
+	return n, nil
+}
+
+// readPage is ReadPage without the real-time emulation: it returns the
+// charged simulated duration so callers (ReadRun) can aggregate sleeps.
+func (d *Device) readPage(id FileID, idx int64, buf []byte) (time.Duration, error) {
+	if len(buf) != PageSize {
+		return 0, ErrBadPageSize
+	}
+	f, err := d.lookup(id)
+	if err != nil {
+		return 0, err
+	}
+	f.mu.RLock()
+	if f.deleted {
+		f.mu.RUnlock()
 		return 0, fmt.Errorf("%w: %d", ErrNoSuchFile, id)
 	}
-	return int64(len(f.pages)), nil
+	if idx < 0 || idx >= int64(len(f.pages)) {
+		n := len(f.pages)
+		f.mu.RUnlock()
+		return 0, fmt.Errorf("%w: file %d page %d of %d", ErrOutOfRange, id, idx, n)
+	}
+	key := pageKey{id, idx}
+	if d.faultsArmed.Load() > 0 {
+		if err := d.takeFault(key); err != nil {
+			f.mu.RUnlock()
+			return 0, err
+		}
+	}
+	var dt time.Duration
+	if d.cache.Touch(key) {
+		dt = d.cost.CacheHit
+		d.clock.Add(int64(dt))
+	} else {
+		dt = d.chargePlatter(key)
+		d.pageReads.Add(1)
+		d.bytesRead.Add(PageSize)
+	}
+	copy(buf, f.pages[idx])
+	f.mu.RUnlock()
+	return dt, nil
 }
 
 // ReadPage reads page idx of file id into buf (which must be PageSize
 // bytes). A cached page pays CacheHit; otherwise the access pays Transfer,
-// plus Seek if it does not continue the previous platter access.
+// plus Seek if it does not continue the previous platter access. Parallel
+// reads of cached pages proceed concurrently.
 func (d *Device) ReadPage(id FileID, idx int64, buf []byte) error {
-	if len(buf) != PageSize {
-		return ErrBadPageSize
-	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	f, ok := d.files[id]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrNoSuchFile, id)
-	}
-	if idx < 0 || idx >= int64(len(f.pages)) {
-		return fmt.Errorf("%w: file %d page %d of %d", ErrOutOfRange, id, idx, len(f.pages))
-	}
-	key := pageKey{id, idx}
-	if err, faulty := d.readFaults[key]; faulty {
-		delete(d.readFaults, key)
+	dt, err := d.readPage(id, idx, buf)
+	if err != nil {
 		return err
 	}
-	if d.cache.Contains(key) {
-		d.clock += d.cost.CacheHit
-		d.stats.CacheHits++
-	} else {
-		d.chargePlatter(key)
-		d.stats.PageReads++
-		d.stats.BytesRead += PageSize
-		d.cache.Insert(key)
-	}
-	copy(buf, f.pages[idx])
+	d.emulate(dt)
 	return nil
 }
 
@@ -182,23 +258,32 @@ func (d *Device) WritePage(id FileID, idx int64, data []byte) error {
 	if len(data) != PageSize {
 		return ErrBadPageSize
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	f, ok := d.files[id]
-	if !ok {
+	f, err := d.lookup(id)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if f.deleted {
+		f.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrNoSuchFile, id)
 	}
 	if idx < 0 || idx >= int64(len(f.pages)) {
-		return fmt.Errorf("%w: file %d page %d of %d", ErrOutOfRange, id, idx, len(f.pages))
+		n := len(f.pages)
+		f.mu.Unlock()
+		return fmt.Errorf("%w: file %d page %d of %d", ErrOutOfRange, id, idx, n)
 	}
 	key := pageKey{id, idx}
-	d.chargePlatter(key)
-	d.stats.PageWrites++
-	d.stats.BytesWritten += PageSize
+	dt := d.chargePlatter(key)
+	d.pageWrites.Add(1)
+	d.bytesWritten.Add(PageSize)
 	page := make([]byte, PageSize)
 	copy(page, data)
 	f.pages[idx] = page
+	// Insert under f.mu so DeleteFile's purge (which takes f.mu first)
+	// cannot interleave and leave a dead key cached.
 	d.cache.Insert(key)
+	f.mu.Unlock()
+	d.emulate(dt)
 	return nil
 }
 
@@ -209,68 +294,92 @@ func (d *Device) AppendPage(id FileID, data []byte) (int64, error) {
 	if len(data) != PageSize {
 		return 0, ErrBadPageSize
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	f, ok := d.files[id]
-	if !ok {
+	f, err := d.lookup(id)
+	if err != nil {
+		return 0, err
+	}
+	f.mu.Lock()
+	if f.deleted {
+		f.mu.Unlock()
 		return 0, fmt.Errorf("%w: %d", ErrNoSuchFile, id)
 	}
 	idx := int64(len(f.pages))
 	key := pageKey{id, idx}
-	d.chargePlatter(key)
-	d.stats.PageWrites++
-	d.stats.BytesWritten += PageSize
+	dt := d.chargePlatter(key)
+	d.pageWrites.Add(1)
+	d.bytesWritten.Add(PageSize)
 	page := make([]byte, PageSize)
 	copy(page, data)
 	f.pages = append(f.pages, page)
-	d.cache.Insert(key)
+	d.cache.Insert(key) // under f.mu; see WritePage
+	f.mu.Unlock()
+	d.emulate(dt)
 	return idx, nil
 }
 
 // ReadRun reads n consecutive pages starting at start into a single buffer
 // of n*PageSize bytes. It is the sequential-scan primitive partitions and
-// merge files use.
+// merge files use. Real-time emulation sleeps once for the whole run, not
+// per page, so OS sleep granularity does not inflate sequential scans.
 func (d *Device) ReadRun(id FileID, start, n int64) ([]byte, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("simdisk: negative run length %d", n)
 	}
 	buf := make([]byte, n*PageSize)
+	var total time.Duration
 	for i := int64(0); i < n; i++ {
-		if err := d.ReadPage(id, start+i, buf[i*PageSize:(i+1)*PageSize]); err != nil {
+		dt, err := d.readPage(id, start+i, buf[i*PageSize:(i+1)*PageSize])
+		if err != nil {
 			return nil, err
 		}
+		total += dt
 	}
+	d.emulate(total)
 	return buf, nil
 }
 
 // chargePlatter advances the simulated clock for one platter access to key,
-// paying a seek unless the access continues the previous one. Callers hold
-// d.mu.
-func (d *Device) chargePlatter(key pageKey) {
+// paying a seek unless the access continues the previous one. Only the head
+// position is under the platter mutex; clock and counters are atomics. It
+// returns the charged duration.
+func (d *Device) chargePlatter(key pageKey) time.Duration {
+	d.platterMu.Lock()
 	sequential := d.lastValid && d.lastFile == key.file && key.page == d.lastPage+1
-	if sequential {
-		d.stats.SeqPages++
-	} else {
-		d.clock += d.cost.Seek
-		d.stats.Seeks++
-	}
-	d.clock += d.cost.Transfer
 	d.lastFile, d.lastPage, d.lastValid = key.file, key.page, true
+	d.platterMu.Unlock()
+	dt := d.cost.Transfer
+	if sequential {
+		d.seqPages.Add(1)
+	} else {
+		dt += d.cost.Seek
+		d.seeks.Add(1)
+	}
+	d.clock.Add(int64(dt))
+	return dt
+}
+
+// takeFault consumes an armed one-shot read fault for key, if any.
+func (d *Device) takeFault(key pageKey) error {
+	d.faultMu.Lock()
+	defer d.faultMu.Unlock()
+	err, ok := d.readFaults[key]
+	if !ok {
+		return nil
+	}
+	delete(d.readFaults, key)
+	d.faultsArmed.Add(-1)
+	return err
 }
 
 // Clock returns the simulated time elapsed since creation or the last
 // ResetClock.
 func (d *Device) Clock() time.Duration {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.clock
+	return time.Duration(d.clock.Load())
 }
 
 // ResetClock zeroes the simulated clock (stats are unaffected).
 func (d *Device) ResetClock() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.clock = 0
+	d.clock.Store(0)
 }
 
 // AdvanceClock adds a CPU-side cost to the simulated clock. Engines use it
@@ -281,45 +390,84 @@ func (d *Device) AdvanceClock(dt time.Duration) {
 	if dt <= 0 {
 		return
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.clock += dt
+	d.clock.Add(int64(dt))
+	d.emulate(dt)
 }
 
-// Stats returns a snapshot of the device counters.
+// SetRealTimeScale turns on real-time emulation: every charged simulated
+// duration additionally sleeps scale times that duration in wall-clock time
+// (outside all locks), so concurrent queries genuinely overlap their
+// simulated I/O waits the way they would overlap device latency on real
+// hardware. scale <= 0 (the default) disables emulation. Sub-microsecond
+// scaled costs (cache hits) never sleep.
+func (d *Device) SetRealTimeScale(scale float64) {
+	if scale < 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		scale = 0
+	}
+	d.realTime.Store(math.Float64bits(scale))
+}
+
+// RealTimeScale returns the current real-time emulation scale (0 = off).
+func (d *Device) RealTimeScale() float64 {
+	return math.Float64frombits(d.realTime.Load())
+}
+
+// emulate sleeps the scaled wall-clock equivalent of a charged simulated
+// duration when real-time emulation is on. Called with no locks held.
+func (d *Device) emulate(dt time.Duration) {
+	bits := d.realTime.Load()
+	if bits == 0 || dt <= 0 {
+		return
+	}
+	ns := float64(dt) * math.Float64frombits(bits)
+	if ns < 1000 { // below timer resolution; cache hits are meant to be free
+		return
+	}
+	time.Sleep(time.Duration(ns))
+}
+
+// Stats returns a snapshot of the device counters, aggregating the cache's
+// per-shard hit counters. Under concurrent load the snapshot is a consistent
+// sum of per-counter values, not an instantaneous cross-counter cut.
 func (d *Device) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	return Stats{
+		PageReads:    d.pageReads.Load(),
+		PageWrites:   d.pageWrites.Load(),
+		CacheHits:    d.cache.Hits(),
+		Seeks:        d.seeks.Load(),
+		SeqPages:     d.seqPages.Load(),
+		BytesRead:    d.bytesRead.Load(),
+		BytesWritten: d.bytesWritten.Load(),
+	}
 }
 
 // ResetStats zeroes the device counters.
 func (d *Device) ResetStats() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.stats = Stats{}
+	d.pageReads.Store(0)
+	d.pageWrites.Store(0)
+	d.seeks.Store(0)
+	d.seqPages.Store(0)
+	d.bytesRead.Store(0)
+	d.bytesWritten.Store(0)
+	d.cache.ResetHits()
 }
 
 // DropCaches empties the buffer cache and forgets the head position, exactly
 // like the paper's methodology of overwriting OS caches before each query.
 func (d *Device) DropCaches() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.cache.Clear()
+	d.platterMu.Lock()
 	d.lastValid = false
+	d.platterMu.Unlock()
 }
 
 // CachedPages returns the number of pages currently cached.
 func (d *Device) CachedPages() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	return d.cache.Len()
 }
 
 // SetCacheCapacity resizes the buffer cache (in pages).
 func (d *Device) SetCacheCapacity(pages int) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.cache.SetCapacity(pages)
 }
 
@@ -327,18 +475,23 @@ func (d *Device) SetCacheCapacity(pages int) {
 // read of that page returns err instead of data. Tests use it to exercise
 // error paths through the storage stack.
 func (d *Device) InjectReadFault(id FileID, idx int64, err error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.faultMu.Lock()
+	defer d.faultMu.Unlock()
+	if _, dup := d.readFaults[pageKey{id, idx}]; !dup {
+		d.faultsArmed.Add(1)
+	}
 	d.readFaults[pageKey{id, idx}] = err
 }
 
 // TotalPages returns the number of pages across all files (disk usage).
 func (d *Device) TotalPages() int64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	var total int64
 	for _, f := range d.files {
+		f.mu.RLock()
 		total += int64(len(f.pages))
+		f.mu.RUnlock()
 	}
 	return total
 }

@@ -1,0 +1,209 @@
+package simdisk
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Sharding parameters. A shard is only worth its mutex when it holds a
+// meaningful slice of the cache, so the shard count grows with capacity:
+// capacity < 2*minShardPages keeps the single global LRU (bit-for-bit the
+// pre-sharding behaviour, which the small-cache tests pin down), while large
+// caches fan out to up to maxCacheShards independently locked LRUs.
+const (
+	maxCacheShards = 16 // power of two; shard index is hash & (n-1)
+	minShardPages  = 128
+)
+
+// shardCount returns the number of shards (a power of two) for a capacity.
+func shardCount(capacity int) int {
+	n := 1
+	for n < maxCacheShards && capacity >= 2*n*minShardPages {
+		n *= 2
+	}
+	return n
+}
+
+// cacheShard is one independently locked slice of the page cache.
+type cacheShard struct {
+	mu  sync.Mutex
+	lru *lruCache
+}
+
+// hitCounter is a cache-line-padded counter so that per-shard hit accounting
+// from parallel readers does not false-share.
+type hitCounter struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// shardedCache is the device's buffer cache: an LRU set of page keys split
+// into shards keyed by a hash of the pageKey, so cache hits from parallel
+// readers contend only on their shard's mutex instead of serializing on one
+// global lock. Hit counts are kept in per-shard counters and aggregated on
+// read (Stats), never on the hot path.
+//
+// Eviction is per shard: each shard runs LRU over its own slice of the
+// capacity. With a uniform key hash this approximates global LRU closely
+// while keeping eviction decisions lock-local.
+type shardedCache struct {
+	mu     sync.RWMutex // guards the shards slice (rebuilt on SetCapacity)
+	shards []*cacheShard
+	hits   [maxCacheShards]hitCounter // indexed by hash, fixed across rebuilds
+}
+
+func newShardedCache(capacity int) *shardedCache {
+	c := &shardedCache{}
+	c.buildLocked(capacity)
+	return c
+}
+
+// buildLocked allocates the shard array for capacity. Callers hold c.mu (or
+// have exclusive access during construction).
+func (c *shardedCache) buildLocked(capacity int) {
+	if capacity < 0 {
+		capacity = 0
+	}
+	n := shardCount(capacity)
+	base, extra := capacity/n, capacity%n
+	shards := make([]*cacheShard, n)
+	for i := range shards {
+		capi := base
+		if i < extra {
+			capi++
+		}
+		shards[i] = &cacheShard{lru: newLRUCache(capi)}
+	}
+	c.shards = shards
+}
+
+// hash mixes a pageKey into a well-distributed 64-bit value (splitmix64
+// finalizer over the file/page pair).
+func (c *shardedCache) hash(key pageKey) uint64 {
+	h := uint64(key.page)*0x9E3779B97F4A7C15 ^ uint64(key.file)*0xBF58476D1CE4E5B9
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return h
+}
+
+// Touch is the read path's single cache interaction: it reports whether key
+// was cached (marking it most recently used and counting the hit) and
+// inserts it on a miss, all under one shard lock.
+func (c *shardedCache) Touch(key pageKey) bool {
+	h := c.hash(key)
+	c.mu.RLock()
+	s := c.shards[h&uint64(len(c.shards)-1)]
+	s.mu.Lock()
+	hit := s.lru.Contains(key)
+	if !hit {
+		s.lru.Insert(key)
+	}
+	s.mu.Unlock()
+	c.mu.RUnlock()
+	if hit {
+		c.hits[h&uint64(maxCacheShards-1)].n.Add(1)
+	}
+	return hit
+}
+
+// Insert adds key as most recently used in its shard (write-through path).
+func (c *shardedCache) Insert(key pageKey) {
+	h := c.hash(key)
+	c.mu.RLock()
+	s := c.shards[h&uint64(len(c.shards)-1)]
+	s.mu.Lock()
+	s.lru.Insert(key)
+	s.mu.Unlock()
+	c.mu.RUnlock()
+}
+
+// RemoveFile drops every cached page of file f from all shards.
+func (c *shardedCache) RemoveFile(f FileID) {
+	c.mu.RLock()
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.lru.RemoveFile(f)
+		s.mu.Unlock()
+	}
+	c.mu.RUnlock()
+}
+
+// Clear empties every shard (the paper's cache drop). Hit counters are
+// untouched; they are statistics, not contents.
+func (c *shardedCache) Clear() {
+	c.mu.RLock()
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.lru.Clear()
+		s.mu.Unlock()
+	}
+	c.mu.RUnlock()
+}
+
+// Len returns the cached page count across shards.
+func (c *shardedCache) Len() int {
+	n := 0
+	c.mu.RLock()
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	c.mu.RUnlock()
+	return n
+}
+
+// Hits aggregates the per-shard hit counters.
+func (c *shardedCache) Hits() int64 {
+	var n int64
+	for i := range c.hits {
+		n += c.hits[i].n.Load()
+	}
+	return n
+}
+
+// ResetHits zeroes the per-shard hit counters.
+func (c *shardedCache) ResetHits() {
+	for i := range c.hits {
+		c.hits[i].n.Store(0)
+	}
+}
+
+// SetCapacity resizes the cache. When the shard count is unchanged the
+// resize stays in place (exact LRU eviction order within each shard);
+// otherwise the shard array is rebuilt and surviving keys are re-inserted in
+// per-shard recency order.
+func (c *shardedCache) SetCapacity(capacity int) {
+	if capacity < 0 {
+		capacity = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if shardCount(capacity) == len(c.shards) {
+		n := len(c.shards)
+		base, extra := capacity/n, capacity%n
+		for i, s := range c.shards {
+			capi := base
+			if i < extra {
+				capi++
+			}
+			s.mu.Lock()
+			s.lru.SetCapacity(capi)
+			s.mu.Unlock()
+		}
+		return
+	}
+	old := c.shards
+	c.buildLocked(capacity)
+	// Re-insert surviving keys, least recent first, so recency is preserved
+	// within each old shard.
+	for _, s := range old {
+		s.mu.Lock()
+		for n := s.lru.tail; n != nil; n = n.prev {
+			h := c.hash(n.key)
+			c.shards[h&uint64(len(c.shards)-1)].lru.Insert(n.key)
+		}
+		s.mu.Unlock()
+	}
+}
