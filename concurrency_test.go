@@ -7,10 +7,14 @@ package odyssey
 // concurrent read/mutate locking discipline has to satisfy.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"spaceodyssey/internal/engine"
 	"spaceodyssey/internal/rawfile"
@@ -139,6 +143,96 @@ func TestConcurrentQueriesMatchOracleNoMerge(t *testing.T) {
 func TestConcurrentQueriesSmallCache(t *testing.T) {
 	env := newOracleEnv(t, Options{CachePages: 64}, 3, 1500)
 	runConcurrentOracle(t, env, 8, 12)
+}
+
+// TestCancellationStormOracle is the cancellation contract under fire: 8
+// goroutines issue queries with randomized deadlines — some already expired,
+// some tight enough to fire mid-query, some generous — against a real-time
+// emulated Explorer while it builds, refines and merges. Every completed
+// result must still equal the NaiveScan oracle, every canceled query must
+// return a wrapped ErrCanceled (matching its context cause) with no partial
+// result, and the engine must serve correct un-canceled queries afterwards —
+// no poisoned locks, no leaked exclusive holds, no half-applied refinements.
+func TestCancellationStormOracle(t *testing.T) {
+	env := newOracleEnv(t, Options{RealTimeScale: 0.01}, 3, 2000)
+	var completed, canceled atomic.Int64
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(7000 + g)))
+			for i := 0; i < 15; i++ {
+				q := env.randomQuery(rng)
+				ctx, cancel := context.Background(), context.CancelFunc(func() {})
+				switch rng.Intn(4) {
+				case 0: // impossible: dead before the query starts
+					ctx, cancel = context.WithCancel(ctx)
+					cancel()
+				case 1: // tight: likely to fire mid-query
+					ctx, cancel = context.WithTimeout(ctx,
+						time.Duration(50+rng.Intn(1000))*time.Microsecond)
+				case 2: // generous: must complete
+					ctx, cancel = context.WithTimeout(ctx, time.Minute)
+				default: // no deadline at all
+				}
+				got, err := env.ex.QueryCtx(ctx, q.Range, q.Datasets)
+				cancel()
+				if err != nil {
+					if !IsCanceled(err) {
+						errc <- fmt.Errorf("goroutine %d query %d: non-cancellation error %w", g, i, err)
+						return
+					}
+					if !errors.Is(err, ErrCanceled) {
+						errc <- fmt.Errorf("goroutine %d query %d: cancellation %v does not wrap ErrCanceled", g, i, err)
+						return
+					}
+					if got != nil {
+						errc <- fmt.Errorf("goroutine %d query %d: canceled query leaked a partial result (%d objects)", g, i, len(got))
+						return
+					}
+					canceled.Add(1)
+					continue
+				}
+				want, oerr := env.oracle.Query(q.Range, q.Datasets)
+				if oerr != nil {
+					errc <- oerr
+					return
+				}
+				if !engine.SameObjects(got, want) {
+					errc <- fmt.Errorf("goroutine %d query %d: completed under deadline pressure but engine returned %d objects, oracle %d",
+						g, i, len(got), len(want))
+					return
+				}
+				completed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if canceled.Load() == 0 {
+		t.Error("storm produced no canceled queries (pre-canceled contexts must at least fail fast)")
+	}
+	if completed.Load() == 0 {
+		t.Error("storm produced no completed queries")
+	}
+	t.Logf("storm: %d completed, %d canceled, %d device ops aborted",
+		completed.Load(), canceled.Load(), env.ex.DiskStats().CanceledOps)
+
+	// The engine is not poisoned: fresh un-canceled queries still match the
+	// oracle (and exercise merge files built during the storm).
+	env.ex.SetRealTimeScale(0) // instant disk for the verification sweep
+	rng := rand.New(rand.NewSource(424242))
+	for i := 0; i < 12; i++ {
+		if err := env.check(env.randomQuery(rng)); err != nil {
+			t.Fatalf("post-storm query %d: %v", i, err)
+		}
+	}
 }
 
 // TestConcurrentAddDataset races dataset registration against a query

@@ -1,11 +1,42 @@
 package odyssey
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"spaceodyssey/internal/simdisk"
 )
+
+// Sentinel errors of the serving layer.
+var (
+	// ErrClosed is returned by Submit/SubmitCtx after Close. Submitting to a
+	// closed dispatcher is always a clean error, never a panic, even when
+	// racing a concurrent Close.
+	ErrClosed = errors.New("odyssey: dispatcher closed")
+
+	// ErrDispatcherClosed is the pre-admission-control name of ErrClosed.
+	//
+	// Deprecated: use ErrClosed.
+	ErrDispatcherClosed = ErrClosed
+
+	// ErrOverloaded is the admission controller's fast-fail: the in-flight
+	// limit is reached and no slot freed up within the queue-wait budget.
+	// Callers should shed the query (or retry with backoff) instead of
+	// queueing behind an already-saturated pool.
+	ErrOverloaded = errors.New("odyssey: dispatcher overloaded")
+)
+
+// IsCanceled reports whether err is a cancellation outcome: a wrapped
+// ErrCanceled from the storage stack, or a bare context error. Rejections
+// (ErrOverloaded) and closed-dispatcher errors are not cancellations.
+func IsCanceled(err error) bool {
+	return err != nil && (errors.Is(err, ErrCanceled) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+}
 
 // BatchResult is the outcome of one query executed by the worker pool.
 type BatchResult struct {
@@ -18,9 +49,15 @@ type BatchResult struct {
 	Objects []Object
 	// Worker is the pool worker that served the query.
 	Worker int
+	// Wait is the queue wait: submit to worker pickup. A query canceled
+	// while still queued is picked up and skipped, so its Wait is real but
+	// its Wall is ~0.
+	Wait time.Duration
 	// Wall is the wall-clock time the query took on its worker.
 	Wall time.Duration
-	// Err is the query's error, if any.
+	// Err is the query's error, if any. Cancellation errors satisfy
+	// IsCanceled (and errors.Is against ErrCanceled, context.Canceled or
+	// context.DeadlineExceeded).
 	Err error
 }
 
@@ -28,8 +65,10 @@ type BatchResult struct {
 type WorkerStats struct {
 	// Worker is the worker's index in the pool.
 	Worker int
-	// Queries is how many queries the worker served.
+	// Queries is how many queries the worker served (canceled included).
 	Queries int
+	// Canceled is how many of those ended in a cancellation error.
+	Canceled int
 	// Busy is the wall-clock time the worker spent inside Explorer.Query.
 	Busy time.Duration
 }
@@ -43,15 +82,65 @@ func (w WorkerStats) Throughput() float64 {
 	return float64(w.Queries) / w.Busy.Seconds()
 }
 
-// Dispatcher is a bounded worker pool serving queries against one Explorer.
-// It is the concurrency front-end the batch APIs are built on: submit jobs
-// from any goroutine, close the dispatcher to drain, then read per-worker
-// statistics. A Dispatcher must not be reused after Close.
+// AdmissionConfig configures the dispatcher's admission controller. The
+// zero value disables admission control entirely: every Submit is admitted,
+// with the bounded job queue providing blocking backpressure as before.
+type AdmissionConfig struct {
+	// MaxInFlight caps admitted-but-unfinished queries (queued + running).
+	// At the cap, SubmitCtx fast-fails with ErrOverloaded instead of
+	// blocking (after at most QueueWait). 0 disables the cap.
+	MaxInFlight int
+	// Deadline is the per-query deadline attached at admission to any query
+	// whose own context carries none. It covers job-queue wait plus
+	// execution; time spent waiting for an admission slot (bounded by
+	// QueueWait) comes before the deadline is attached. 0 attaches no
+	// deadline.
+	Deadline time.Duration
+	// QueueWait is how long SubmitCtx may wait for an in-flight slot before
+	// failing with ErrOverloaded. 0 means fail immediately (pure fast-fail).
+	// Only meaningful with MaxInFlight > 0.
+	QueueWait time.Duration
+}
+
+// AdmissionStats counts the admission controller's decisions and outcomes.
+type AdmissionStats struct {
+	// Admitted is how many queries passed admission and were enqueued.
+	Admitted int64
+	// Rejected is how many submissions fast-failed with ErrOverloaded.
+	Rejected int64
+	// Canceled is how many admitted queries ended in a cancellation error
+	// (deadline expiry in queue or mid-execution, caller cancellation).
+	// Submissions refused before admission — a context already dead at
+	// Submit, or canceled while waiting for a slot — appear in no bucket,
+	// so Admitted == Completed + Canceled + Failed once the dispatcher is
+	// closed.
+	Canceled int64
+	// Completed is how many admitted queries finished successfully.
+	Completed int64
+	// Failed is how many admitted queries ended in a non-cancellation error
+	// (e.g. an unknown dataset).
+	Failed int64
+}
+
+// Dispatcher is a bounded worker pool serving queries against one Explorer,
+// with optional admission control (in-flight cap, default deadlines,
+// fast-fail under overload). It is the concurrency front-end the batch APIs
+// are built on: submit jobs from any goroutine, close the dispatcher to
+// drain, then read per-worker statistics. A Dispatcher must not be reused
+// after Close.
 type Dispatcher struct {
 	ex    *Explorer
+	cfg   AdmissionConfig
 	jobs  chan dispatchJob
+	slots chan struct{} // in-flight semaphore; nil when MaxInFlight == 0
 	wg    sync.WaitGroup
 	stats []WorkerStats
+
+	admitted  atomic.Int64
+	rejected  atomic.Int64
+	canceled  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
 
 	// sendMu orders Submit (shared) against Close (exclusive) so a racing
 	// Submit can never send on the closed jobs channel.
@@ -61,21 +150,41 @@ type Dispatcher struct {
 }
 
 type dispatchJob struct {
-	index int
-	query Query
-	out   chan<- BatchResult
+	index     int
+	query     Query
+	ctx       context.Context
+	cancel    context.CancelFunc // non-nil when the dispatcher attached a deadline
+	submitted time.Time
+	out       chan<- BatchResult
 }
 
 // NewDispatcher starts a pool of the given number of workers over the
-// Explorer. workers <= 0 defaults to GOMAXPROCS.
+// Explorer, with admission control disabled. workers <= 0 defaults to
+// GOMAXPROCS.
 func NewDispatcher(ex *Explorer, workers int) *Dispatcher {
+	return NewDispatcherWithAdmission(ex, workers, AdmissionConfig{})
+}
+
+// NewDispatcherWithAdmission starts a pool with the given admission policy.
+// The job queue is sized to hold MaxInFlight jobs (at least 2x workers), so
+// an admitted query never blocks on the queue itself — admission is the only
+// gate, and it fails fast.
+func NewDispatcherWithAdmission(ex *Explorer, workers int, cfg AdmissionConfig) *Dispatcher {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	qcap := 2 * workers
+	if cfg.MaxInFlight > qcap {
+		qcap = cfg.MaxInFlight
+	}
 	d := &Dispatcher{
 		ex:    ex,
-		jobs:  make(chan dispatchJob, 2*workers),
+		cfg:   cfg,
+		jobs:  make(chan dispatchJob, qcap),
 		stats: make([]WorkerStats, workers),
+	}
+	if cfg.MaxInFlight > 0 {
+		d.slots = make(chan struct{}, cfg.MaxInFlight)
 	}
 	for w := 0; w < workers; w++ {
 		d.wg.Add(1)
@@ -87,25 +196,116 @@ func NewDispatcher(ex *Explorer, workers int) *Dispatcher {
 // Workers returns the pool size.
 func (d *Dispatcher) Workers() int { return len(d.stats) }
 
-// Submit enqueues one query; its result is delivered on out. Submit blocks
-// when all workers are busy and the (bounded) queue is full — the
-// backpressure that keeps a heavy caller from buffering an unbounded
-// backlog. The out channel must have capacity for every result submitted to
-// it, or be drained concurrently; otherwise workers block delivering.
-// Submitting to a closed dispatcher returns ErrDispatcherClosed (racing a
-// concurrent Close is safe).
-func (d *Dispatcher) Submit(index int, q Query, out chan<- BatchResult) error {
-	d.sendMu.RLock()
-	defer d.sendMu.RUnlock()
-	if d.closed {
-		return ErrDispatcherClosed
+// AdmissionStats returns a snapshot of the admission counters. Under
+// concurrent load the snapshot is a consistent per-counter sum, not an
+// instantaneous cross-counter cut; after Close it is exact.
+func (d *Dispatcher) AdmissionStats() AdmissionStats {
+	return AdmissionStats{
+		Admitted:  d.admitted.Load(),
+		Rejected:  d.rejected.Load(),
+		Canceled:  d.canceled.Load(),
+		Completed: d.completed.Load(),
+		Failed:    d.failed.Load(),
 	}
-	d.jobs <- dispatchJob{index: index, query: q, out: out}
+}
+
+// Submit enqueues one query with no caller context; its result is delivered
+// on out. Without admission control Submit blocks when all workers are busy
+// and the (bounded) queue is full — the backpressure that keeps a heavy
+// caller from buffering an unbounded backlog. With MaxInFlight set it
+// fast-fails with ErrOverloaded instead. The out channel must have capacity
+// for every result submitted to it, or be drained concurrently; otherwise
+// workers block delivering. Submitting to a closed dispatcher returns
+// ErrClosed (racing a concurrent Close is safe — never a panic).
+func (d *Dispatcher) Submit(index int, q Query, out chan<- BatchResult) error {
+	return d.SubmitCtx(context.Background(), index, q, out)
+}
+
+// SubmitCtx is Submit with a caller context. The context governs the whole
+// lifetime of the query: a submission whose context is already done is
+// refused immediately, cancellation while waiting for an admission slot
+// abandons the wait, and the context travels with the job so the worker
+// aborts the query the moment it expires — whether that happens in the
+// queue or mid-execution. When AdmissionConfig.Deadline is set and ctx
+// carries no deadline of its own, the default deadline is attached here, at
+// submit time, so queue wait counts against it.
+func (d *Dispatcher) SubmitCtx(ctx context.Context, index int, q Query, out chan<- BatchResult) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// A dead context is refused before admission; it does not enter the
+	// ledger at all (Canceled counts only admitted queries, so that
+	// Admitted == Completed + Canceled holds after Close).
+	if err := simdisk.CheckCtx(ctx); err != nil {
+		return err
+	}
+	if d.slots != nil {
+		select {
+		case d.slots <- struct{}{}:
+		default:
+			if d.cfg.QueueWait <= 0 {
+				d.rejected.Add(1)
+				return ErrOverloaded
+			}
+			timer := time.NewTimer(d.cfg.QueueWait)
+			select {
+			case d.slots <- struct{}{}:
+				timer.Stop()
+			case <-timer.C:
+				d.rejected.Add(1)
+				return ErrOverloaded
+			case <-ctx.Done():
+				// Canceled while waiting for a slot: never admitted, so it
+				// counts in no ledger bucket (see the dead-context refusal
+				// above).
+				timer.Stop()
+				return simdisk.Canceled(ctx.Err())
+			}
+		}
+	}
+	job := dispatchJob{index: index, query: q, ctx: ctx, submitted: time.Now(), out: out}
+	if d.cfg.Deadline > 0 {
+		if _, has := ctx.Deadline(); !has {
+			job.ctx, job.cancel = context.WithTimeout(ctx, d.cfg.Deadline)
+		}
+	}
+	d.sendMu.RLock()
+	if d.closed {
+		d.sendMu.RUnlock()
+		if job.cancel != nil {
+			job.cancel()
+		}
+		d.releaseSlot()
+		return ErrClosed
+	}
+	// With admission on, the queue is sized for MaxInFlight jobs, so this
+	// send cannot block while holding sendMu; without admission it may —
+	// that is the documented blocking backpressure — but cancellation still
+	// abandons the wait (the channel cannot be closed underneath the select:
+	// Close needs sendMu exclusively first). Watching job.ctx, not ctx,
+	// means a dispatcher-attached default deadline bounds the queue wait
+	// too; the two are identical when no deadline was attached.
+	select {
+	case d.jobs <- job:
+	case <-job.ctx.Done():
+		d.sendMu.RUnlock()
+		if job.cancel != nil {
+			job.cancel()
+		}
+		d.releaseSlot()
+		return simdisk.Canceled(job.ctx.Err())
+	}
+	d.admitted.Add(1)
+	d.sendMu.RUnlock()
 	return nil
 }
 
-// ErrDispatcherClosed is returned by Submit after Close.
-var ErrDispatcherClosed = errors.New("odyssey: dispatcher closed")
+// releaseSlot frees one in-flight slot (no-op without admission control).
+func (d *Dispatcher) releaseSlot() {
+	if d.slots != nil {
+		<-d.slots
+	}
+}
 
 // Close stops accepting work and blocks until every submitted query has
 // finished. Safe to call more than once and concurrently with Submit.
@@ -128,22 +328,45 @@ func (d *Dispatcher) WorkerStats() []WorkerStats {
 }
 
 // worker serves jobs until the queue closes. Each worker owns its stats
-// slot, so no locking is needed on the hot path.
+// slot, so no locking is needed on the hot path. A job whose context died
+// in the queue is skipped, not executed: it is delivered straight back with
+// the cancellation error, which is what keeps worker time off
+// dead-on-arrival queries and the queue draining at full speed during a
+// cancellation storm.
 func (d *Dispatcher) worker(w int) {
 	defer d.wg.Done()
 	st := &d.stats[w]
 	st.Worker = w
 	for job := range d.jobs {
+		wait := time.Since(job.submitted)
+		var objs []Object
+		err := simdisk.CheckCtx(job.ctx)
 		t0 := time.Now()
-		objs, err := d.ex.Query(job.query.Range, job.query.Datasets)
+		if err == nil {
+			objs, err = d.ex.QueryCtx(job.ctx, job.query.Range, job.query.Datasets)
+		}
 		wall := time.Since(t0)
+		if job.cancel != nil {
+			job.cancel()
+		}
+		d.releaseSlot()
 		st.Queries++
 		st.Busy += wall
+		switch {
+		case err == nil:
+			d.completed.Add(1)
+		case IsCanceled(err):
+			st.Canceled++
+			d.canceled.Add(1)
+		default:
+			d.failed.Add(1)
+		}
 		job.out <- BatchResult{
 			Index:   job.index,
 			Query:   job.query,
 			Objects: objs,
 			Worker:  w,
+			Wait:    wait,
 			Wall:    wall,
 			Err:     err,
 		}
@@ -157,18 +380,30 @@ func (d *Dispatcher) worker(w int) {
 // GOMAXPROCS; workers == 1 degenerates to serial execution through one
 // worker.
 func (e *Explorer) QueryBatch(queries []Query, workers int) ([]BatchResult, error) {
+	return e.QueryBatchCtx(context.Background(), queries, workers)
+}
+
+// QueryBatchCtx is QueryBatch under one shared context: canceling it aborts
+// every query still queued or running, each of which reports its own
+// cancellation error in its slot (IsCanceled distinguishes them from real
+// failures). Queries that completed before the cancellation keep their full
+// results — a batch is not transactional.
+func (e *Explorer) QueryBatchCtx(ctx context.Context, queries []Query, workers int) ([]BatchResult, error) {
 	d := NewDispatcher(e, workers)
 	// out is buffered for every result so workers never block on delivery
 	// and the submit loop below cannot deadlock against them.
 	out := make(chan BatchResult, len(queries))
+	results := make([]BatchResult, len(queries))
 	for i, q := range queries {
-		// The dispatcher is private to this call, so Submit cannot observe
-		// it closed.
-		_ = d.Submit(i, q, out)
+		// The dispatcher is private to this call and has no admission cap,
+		// so the only submit failure is a context already done — which gets
+		// recorded in place of a delivered result.
+		if err := d.SubmitCtx(ctx, i, q, out); err != nil {
+			results[i] = BatchResult{Index: i, Query: q, Err: err}
+		}
 	}
 	d.Close()
 	close(out)
-	results := make([]BatchResult, len(queries))
 	for r := range out {
 		results[r.Index] = r
 	}
@@ -194,16 +429,27 @@ func (e *Explorer) QueryBatch(queries []Query, workers int) ([]BatchResult, erro
 // goroutine (or select over both channels), as in the package tests. For a
 // fixed slice of queries, QueryBatch handles this for you. Likewise the
 // result channel must be consumed to completion: abandoning it while
-// queries are in flight blocks the pool's workers forever (per-query
-// cancellation is a planned follow-up; see ROADMAP). workers <= 0 defaults
-// to GOMAXPROCS.
+// queries are in flight blocks the pool's workers forever — to bail out
+// early, cancel the context passed to QueryConcurrentCtx and keep draining.
+// workers <= 0 defaults to GOMAXPROCS.
 func (e *Explorer) QueryConcurrent(queries <-chan Query, workers int) <-chan BatchResult {
+	return e.QueryConcurrentCtx(context.Background(), queries, workers)
+}
+
+// QueryConcurrentCtx is QueryConcurrent under one shared context; canceling
+// it turns the remaining stream into fast cancellation results (the result
+// channel still closes only when the input channel does).
+func (e *Explorer) QueryConcurrentCtx(ctx context.Context, queries <-chan Query, workers int) <-chan BatchResult {
 	d := NewDispatcher(e, workers)
 	out := make(chan BatchResult, d.Workers())
 	go func() {
 		i := 0
 		for q := range queries {
-			_ = d.Submit(i, q, out) // private dispatcher, never closed here
+			// Private dispatcher, never closed here; a dead context is
+			// reported through the result stream like any other outcome.
+			if err := d.SubmitCtx(ctx, i, q, out); err != nil {
+				out <- BatchResult{Index: i, Query: q, Err: err}
+			}
 			i++
 		}
 		d.Close()

@@ -1,8 +1,12 @@
 package odyssey
 
 import (
+	"context"
 	"errors"
+	"runtime"
+	"sync"
 	"testing"
+	"time"
 )
 
 // batchEnv builds a small explorer plus a fixed workload for pool tests.
@@ -133,6 +137,204 @@ func TestDispatcherWorkerStats(t *testing.T) {
 	if served != len(queries) {
 		t.Fatalf("workers served %d queries, want %d", served, len(queries))
 	}
+}
+
+// TestDispatcherAdmissionFastFail saturates the in-flight limit and asserts
+// that the next submission fails fast with ErrOverloaded instead of
+// queue-blocking behind the saturated pool.
+func TestDispatcherAdmissionFastFail(t *testing.T) {
+	ex, queries := batchEnv(t)
+	// Real-time emulation makes the first (index-building) query occupy its
+	// worker for hundreds of milliseconds of wall time, holding the single
+	// in-flight slot while the test probes the admission gate.
+	ex.SetRealTimeScale(1.0)
+	d := NewDispatcherWithAdmission(ex, 1, AdmissionConfig{MaxInFlight: 1})
+	out := make(chan BatchResult, 4)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := d.SubmitCtx(ctx, 0, queries[0], out); err != nil {
+		t.Fatalf("first submission should be admitted: %v", err)
+	}
+	start := time.Now()
+	err := d.SubmitCtx(context.Background(), 1, queries[1], out)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("saturated submit = %v, want ErrOverloaded", err)
+	}
+	if elapsed > 200*time.Millisecond {
+		t.Errorf("fast-fail took %v — it queue-blocked", elapsed)
+	}
+
+	// Cut the in-flight query short and drain; the slot frees and a new
+	// submission is admitted again.
+	cancel()
+	r := <-out
+	if r.Err != nil && !IsCanceled(r.Err) {
+		t.Fatalf("canceled in-flight query returned %v", r.Err)
+	}
+	if err := d.SubmitCtx(context.Background(), 2, queries[2], out); err != nil {
+		t.Fatalf("submission after slot release: %v", err)
+	}
+	d.Close()
+	st := d.AdmissionStats()
+	if st.Rejected != 1 {
+		t.Errorf("Rejected = %d, want 1", st.Rejected)
+	}
+	if st.Admitted != 2 {
+		t.Errorf("Admitted = %d, want 2", st.Admitted)
+	}
+}
+
+// TestDispatcherAdmissionQueueWait covers the bounded-wait variant: a
+// submission may wait up to QueueWait for a slot, then still fails with
+// ErrOverloaded rather than blocking indefinitely.
+func TestDispatcherAdmissionQueueWait(t *testing.T) {
+	ex, queries := batchEnv(t)
+	ex.SetRealTimeScale(1.0)
+	d := NewDispatcherWithAdmission(ex, 1, AdmissionConfig{
+		MaxInFlight: 1,
+		QueueWait:   30 * time.Millisecond,
+	})
+	out := make(chan BatchResult, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := d.SubmitCtx(ctx, 0, queries[0], out); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := d.SubmitCtx(context.Background(), 1, queries[1], out)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("saturated submit = %v, want ErrOverloaded", err)
+	}
+	if elapsed < 20*time.Millisecond || elapsed > time.Second {
+		t.Errorf("bounded wait lasted %v, want ~30ms", elapsed)
+	}
+	cancel()
+	<-out
+	d.Close()
+}
+
+// TestDispatcherCancelStormGoroutineLeak floods a dispatcher with
+// short-deadline queries, closes it with work still pending, and asserts
+// that every admitted query still gets exactly one result and that the
+// worker goroutines all exit — no leaked goroutines, no lost results.
+func TestDispatcherCancelStormGoroutineLeak(t *testing.T) {
+	ex, queries := batchEnv(t)
+	ex.SetRealTimeScale(0.5)
+	before := runtime.NumGoroutine()
+	d := NewDispatcherWithAdmission(ex, 8, AdmissionConfig{
+		MaxInFlight: 32,
+		Deadline:    2 * time.Millisecond,
+	})
+	out := make(chan BatchResult, 256)
+	admitted := 0
+	for i := 0; i < 200; i++ {
+		err := d.SubmitCtx(context.Background(), i, queries[i%len(queries)], out)
+		switch {
+		case err == nil:
+			admitted++
+		case errors.Is(err, ErrOverloaded):
+		default:
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	d.Close()
+	close(out)
+	got := 0
+	for range out {
+		got++
+	}
+	if got != admitted {
+		t.Fatalf("%d results delivered for %d admitted queries", got, admitted)
+	}
+	st := d.AdmissionStats()
+	if st.Admitted != int64(admitted) || st.Completed+st.Canceled+st.Failed != st.Admitted {
+		t.Errorf("admission ledger does not balance: %+v", st)
+	}
+	// Workers (and deadline timers) must all wind down after Close.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > before+2 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Errorf("goroutines did not settle after Close: %d before, %d after", before, g)
+	}
+}
+
+// TestDispatcherCancelAbandonsBlockedSubmit pins the backpressure escape
+// hatch: without admission control a Submit blocks when the job queue is
+// full, but canceling its context must abandon the wait instead of blocking
+// forever (and must not wedge a concurrent Close via the held send lock).
+func TestDispatcherCancelAbandonsBlockedSubmit(t *testing.T) {
+	ex, queries := batchEnv(t)
+	d := NewDispatcher(ex, 1)     // job queue capacity 2
+	out := make(chan BatchResult) // unbuffered and undrained: the worker wedges on delivery
+	for i := 0; i < 3; i++ {
+		// Job 0 is dequeued and wedges delivering; jobs 1-2 fill the queue.
+		if err := d.Submit(i, queries[i], out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := d.SubmitCtx(ctx, 3, queries[3], out)
+	if !IsCanceled(err) {
+		t.Fatalf("blocked submit under canceled ctx = %v, want cancellation", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("canceled submit took %v to abandon the wait", elapsed)
+	}
+	for i := 0; i < 3; i++ {
+		<-out // release the worker and drain the queue
+	}
+	d.Close()
+	if st := d.AdmissionStats(); st.Admitted != 3 {
+		t.Errorf("Admitted = %d, want 3 (the abandoned submit was never admitted)", st.Admitted)
+	}
+}
+
+// TestDispatcherClosedSubmitNoPanic is the regression test for submitting
+// to a closed dispatcher: it must return ErrClosed — never panic on a
+// closed channel — including when Submit races Close from many goroutines.
+func TestDispatcherClosedSubmitNoPanic(t *testing.T) {
+	ex, queries := batchEnv(t)
+	d := NewDispatcher(ex, 2)
+	d.Close()
+	out := make(chan BatchResult, 1)
+	if err := d.Submit(0, queries[0], out); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if !errors.Is(ErrDispatcherClosed, ErrClosed) {
+		t.Fatal("ErrDispatcherClosed must alias ErrClosed for existing callers")
+	}
+
+	// Race storm: 8 submitters against a concurrent Close. Every submission
+	// either lands (result delivered) or reports ErrClosed cleanly.
+	d2 := NewDispatcher(ex, 4)
+	storm := make(chan BatchResult, 1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				err := d2.Submit(g*40+i, queries[(g+i)%len(queries)], storm)
+				if err != nil && !errors.Is(err, ErrClosed) {
+					t.Errorf("racing submit: %v", err)
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		d2.Close()
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+	d2.Close() // idempotent
 }
 
 // sameObjects compares two result sets ignoring order without mutating the

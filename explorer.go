@@ -1,6 +1,7 @@
 package odyssey
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -185,7 +186,22 @@ func (e *Explorer) NumDatasets() int {
 // adapting the physical layout as a side effect (incremental indexing,
 // refinement, merging).
 func (e *Explorer) Query(q Box, datasets []DatasetID) ([]Object, error) {
-	objs, _, err := e.QueryTimed(q, datasets)
+	objs, _, err := e.QueryTimedCtx(context.Background(), q, datasets)
+	return objs, err
+}
+
+// QueryCtx is Query with cancellation and deadline support. When ctx is
+// canceled or its deadline passes, the query aborts at the next level step
+// or page boundary and returns an error wrapping both ErrCanceled and the
+// context's own error (so errors.Is works with either), never a partial
+// result set. Simulated I/O performed before the abort stays charged to the
+// shared clock — that work really happened — but nothing past the abort
+// point is charged, and on a real-time emulated device the in-flight wait
+// is cut short. A query that finishes its read phase just before the
+// deadline returns its complete result; only layout housekeeping is
+// skipped.
+func (e *Explorer) QueryCtx(ctx context.Context, q Box, datasets []DatasetID) ([]Object, error) {
+	objs, _, err := e.QueryTimedCtx(ctx, q, datasets)
 	return objs, err
 }
 
@@ -196,8 +212,19 @@ func (e *Explorer) Query(q Box, datasets []DatasetID) ([]Object, error) {
 // per-query timings are only meaningful for serial use (QueryBatch reports
 // aggregate simulated time instead).
 func (e *Explorer) QueryTimed(q Box, datasets []DatasetID) ([]Object, time.Duration, error) {
+	return e.QueryTimedCtx(context.Background(), q, datasets)
+}
+
+// QueryTimedCtx is QueryTimed with cancellation (see QueryCtx). On abort
+// the returned duration still reports the simulated time this query charged
+// before giving up — canceled queries are not free, they cost exactly the
+// I/O they performed.
+func (e *Explorer) QueryTimedCtx(ctx context.Context, q Box, datasets []DatasetID) ([]Object, time.Duration, error) {
 	if len(datasets) == 0 {
 		return nil, 0, fmt.Errorf("odyssey: query names no datasets")
+	}
+	if err := simdisk.CheckCtx(ctx); err != nil {
+		return nil, 0, err
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -205,9 +232,9 @@ func (e *Explorer) QueryTimed(q Box, datasets []DatasetID) ([]Object, time.Durat
 		e.dev.DropCaches()
 	}
 	start := e.dev.Clock()
-	objs, err := e.engine.Query(q, datasets)
+	objs, err := e.engine.QueryCtx(ctx, q, datasets)
 	if err != nil {
-		return nil, 0, err
+		return nil, e.dev.Clock() - start, err
 	}
 	return objs, e.dev.Clock() - start, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -432,6 +433,12 @@ func (m *Merger) appendJob(mf *MergeFile, datasets []object.DatasetID, job merge
 // ReadSegment reads the objects of one dataset for one merged partition,
 // following a shared-segment reference when present.
 func (m *Merger) ReadSegment(mf *MergeFile, key octree.Key, ds object.DatasetID) ([]object.Object, error) {
+	return m.ReadSegmentCtx(nil, mf, key, ds)
+}
+
+// ReadSegmentCtx is ReadSegment with cancellation (nil ctx disables it); the
+// underlying run read aborts at the page boundary where the context expired.
+func (m *Merger) ReadSegmentCtx(ctx context.Context, mf *MergeFile, key octree.Key, ds object.DatasetID) ([]object.Object, error) {
 	segs, ok := mf.entries[key]
 	if !ok {
 		return nil, fmt.Errorf("merge file %s has no entry %v", mf.combo, key)
@@ -454,7 +461,7 @@ func (m *Merger) ReadSegment(mf *MergeFile, key octree.Key, ds object.DatasetID)
 		m.touch(owner)
 		file = owner.file
 	}
-	return file.ReadRun(seg.run)
+	return file.ReadRunCtx(ctx, seg.run)
 }
 
 // EnforceBudget evicts least-recently-used merge files until the space

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -301,18 +302,20 @@ func (o *Odyssey) Metrics() Metrics {
 // from a merge file do not force the exclusive path. Because NeedsWrite is
 // evaluated under the shared lock and only Query mutates trees, the
 // read-only decision cannot be invalidated before the walk completes.
-func (o *Odyssey) queryTree(tree *octree.Tree, lk *sync.RWMutex, q geom.Box,
+// Cancellation mid-walk releases the lock like any other error; refinements
+// that completed before the abort still bump the layout epoch.
+func (o *Odyssey) queryTree(ctx context.Context, tree *octree.Tree, lk *sync.RWMutex, q geom.Box,
 	hook, covered func(*octree.Partition) bool) (octree.QueryResult, error) {
 	lk.RLock()
 	if !tree.NeedsWrite(q, covered) {
-		res, err := tree.Query(q, hook)
+		res, err := tree.QueryCtx(ctx, q, hook)
 		lk.RUnlock()
 		return res, err
 	}
 	lk.RUnlock()
 	lk.Lock()
 	built := tree.Built()
-	res, err := tree.Query(q, hook)
+	res, err := tree.QueryCtx(ctx, q, hook)
 	if res.Refined > 0 || (!built && tree.Built()) {
 		o.layoutEpoch.Add(1)
 	}
@@ -326,6 +329,23 @@ func (o *Odyssey) queryTree(tree *octree.Tree, lk *sync.RWMutex, q geom.Box,
 // post-query merge step. Queries may run concurrently; see the type comment
 // for the locking discipline.
 func (o *Odyssey) Query(q geom.Box, datasets []object.DatasetID) ([]object.Object, error) {
+	return o.QueryCtx(nil, q, datasets)
+}
+
+// QueryCtx is Query with cancellation. The context is observed on the read
+// side only — between and inside the per-dataset tree walks and the
+// merge-segment reads, down to page-boundary granularity in simdisk — and a
+// canceled query returns a wrapped simdisk.ErrCanceled with nil objects,
+// never a partial result. Layout mutations are never interrupted mid-way:
+// a refinement that already started completes, and the post-query merge
+// step is skipped entirely (not aborted) when the context has expired —
+// merging is housekeeping for future queries, so a caller that walked away
+// should not pay for it. A query whose context expires only after the read
+// side finished still returns its full, correct result.
+func (o *Odyssey) QueryCtx(ctx context.Context, q geom.Box, datasets []object.DatasetID) ([]object.Object, error) {
+	if err := simdisk.CheckCtx(ctx); err != nil {
+		return nil, err
+	}
 	ordered := append([]object.DatasetID(nil), datasets...)
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
 	key := KeyOf(ordered)
@@ -384,7 +404,7 @@ func (o *Odyssey) Query(q geom.Box, datasets []object.DatasetID) ([]object.Objec
 				return ok
 			}
 		}
-		res, err := o.queryTree(tree, o.treeMu[ds], q, hook, covered)
+		res, err := o.queryTree(ctx, tree, o.treeMu[ds], q, hook, covered)
 		if err != nil {
 			o.mu.RUnlock()
 			return nil, fmt.Errorf("core: dataset %d: %w", ds, err)
@@ -412,7 +432,7 @@ func (o *Odyssey) Query(q geom.Box, datasets []object.DatasetID) ([]object.Objec
 		})
 		t0 := o.dev.Clock()
 		for _, r := range reads {
-			objs, err := o.merger.ReadSegment(mf, r.entry, r.ds)
+			objs, err := o.merger.ReadSegmentCtx(ctx, mf, r.entry, r.ds)
 			if err != nil {
 				o.mu.RUnlock()
 				return nil, err
@@ -437,7 +457,11 @@ func (o *Odyssey) Query(q geom.Box, datasets []object.DatasetID) ([]object.Objec
 	o.statsMu.Unlock()
 
 	o.merger.OnQuery()
-	doMerge := !o.cfg.DisableMerging && count >= o.merger.Threshold()
+	// A context that expired after the read side completed skips the merge
+	// step instead of aborting inside it: the result is already correct and
+	// complete, and layout reorganization must never be left half-done.
+	doMerge := !o.cfg.DisableMerging && count >= o.merger.Threshold() &&
+		simdisk.CheckCtx(ctx) == nil
 	if doMerge {
 		// Steady-state fast path: skip the exclusive merge step when it
 		// would provably be a no-op — either every accumulated partition is

@@ -14,6 +14,7 @@
 package octree
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -191,13 +192,22 @@ func (t *Tree) FanoutPerDim() int { return t.k }
 // uniform cells by its center, then writing each cell sequentially. This is
 // the expensive first query of the paper's Figure 5.
 func (t *Tree) EnsureBuilt() error {
+	return t.EnsureBuiltCtx(nil)
+}
+
+// EnsureBuiltCtx is EnsureBuilt with cancellation. The context is observed
+// only during the read phase (the in-situ scan, which dominates the cost):
+// an abort there leaves the tree untouched and unbuilt — no partial
+// partitioning can ever be observed. Once the scan has completed, the cell
+// writes always run to completion, so the built state commits atomically.
+func (t *Tree) EnsureBuiltCtx(ctx context.Context) error {
 	if t.built {
 		return nil
 	}
 	buckets := make([][]object.Object, t.k*t.k*t.k)
 	var maxExt geom.Vec
 	n := 0
-	err := t.raw.Scan(func(o object.Object) error {
+	err := t.raw.ScanCtx(ctx, func(o object.Object) error {
 		ix, iy, iz := t.bounds.CellIndex(t.k, o.Center)
 		idx := (iz*t.k+iy)*t.k + ix
 		buckets[idx] = append(buckets[idx], o)
@@ -292,6 +302,11 @@ func (t *Tree) LeafAt(key Key) *Partition {
 // ReadPartition reads every object stored in p from disk.
 func (t *Tree) ReadPartition(p *Partition) ([]object.Object, error) {
 	return t.file.ReadRuns(p.runs)
+}
+
+// ReadPartitionCtx is ReadPartition with cancellation (nil ctx disables it).
+func (t *Tree) ReadPartitionCtx(ctx context.Context, p *Partition) ([]object.Object, error) {
+	return t.file.ReadRunsCtx(ctx, p.runs)
 }
 
 // File exposes the partition storage file (merge copies read through it).

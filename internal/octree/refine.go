@@ -1,12 +1,14 @@
 package octree
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"spaceodyssey/internal/geom"
 	"spaceodyssey/internal/object"
 	"spaceodyssey/internal/pagefile"
+	"spaceodyssey/internal/simdisk"
 )
 
 // NeedsRefinement applies the paper's rt rule: a partition hit by a query of
@@ -28,10 +30,20 @@ func (t *Tree) NeedsRefinement(p *Partition, qVol float64) bool {
 // objects that were read in the process so callers answering a query can
 // filter them without a second read.
 func (t *Tree) Refine(p *Partition) ([]object.Object, error) {
+	return t.refineCtx(nil, p)
+}
+
+// refineCtx is Refine with cancellation limited to the read phase: aborting
+// while the partition is being read leaves it exactly as it was (runs and
+// children untouched), while the split-and-rewrite phase always runs to
+// completion so the tree can never hold a half-rewritten partition. This is
+// the "check cancellation between level steps, never inside a layout
+// mutation" rule the concurrent storm tests pin down.
+func (t *Tree) refineCtx(ctx context.Context, p *Partition) ([]object.Object, error) {
 	if !p.IsLeaf() {
 		return nil, fmt.Errorf("octree: refine on non-leaf %v", p.key)
 	}
-	objs, err := t.ReadPartition(p)
+	objs, err := t.ReadPartitionCtx(ctx, p)
 	if err != nil {
 		return nil, fmt.Errorf("octree refine read: %w", err)
 	}
@@ -125,10 +137,20 @@ type QueryResult struct {
 // from a merge file) — it is neither read nor refined here. The core engine
 // uses this hook to route partitions to merge files.
 func (t *Tree) Query(q geom.Box, serveFromStore func(*Partition) bool) (QueryResult, error) {
+	return t.QueryCtx(nil, q, serveFromStore)
+}
+
+// QueryCtx is Query with cancellation. The context is checked between level
+// steps — before the level-0 build, before each partition read or
+// refinement — and inside the reads themselves down to the page boundary,
+// so an abandoned query stops charging simulated I/O almost immediately.
+// Refinements that already started always complete (see refineCtx), keeping
+// the tree consistent; on error the partial QueryResult must be discarded.
+func (t *Tree) QueryCtx(ctx context.Context, q geom.Box, serveFromStore func(*Partition) bool) (QueryResult, error) {
 	var res QueryResult
 	dev := t.file.Device()
 	t0 := dev.Clock()
-	if err := t.EnsureBuilt(); err != nil {
+	if err := t.EnsureBuiltCtx(ctx); err != nil {
 		return res, err
 	}
 	res.BuildTime = dev.Clock() - t0
@@ -140,13 +162,16 @@ func (t *Tree) Query(q geom.Box, serveFromStore func(*Partition) bool) (QueryRes
 			res.Touched = append(res.Touched, leaf)
 			continue
 		}
+		if err := simdisk.CheckCtx(ctx); err != nil {
+			return res, err
+		}
 		var objs []object.Object
 		var err error
 		if t.NeedsRefinement(leaf, qVol) {
 			// Refinement reads the partition; reuse those objects and
 			// descend to the children actually intersecting the query.
 			t1 := dev.Clock()
-			objs, err = t.Refine(leaf)
+			objs, err = t.refineCtx(ctx, leaf)
 			res.RefineTime += dev.Clock() - t1
 			if err != nil {
 				return res, err
@@ -159,7 +184,7 @@ func (t *Tree) Query(q geom.Box, serveFromStore func(*Partition) bool) (QueryRes
 			}
 		} else {
 			t1 := dev.Clock()
-			objs, err = t.ReadPartition(leaf)
+			objs, err = t.ReadPartitionCtx(ctx, leaf)
 			res.ReadTime += dev.Clock() - t1
 			if err != nil {
 				return res, err

@@ -10,6 +10,7 @@
 package pagefile
 
 import (
+	"context"
 	"fmt"
 
 	"spaceodyssey/internal/object"
@@ -111,15 +112,27 @@ func (f *File) OverwriteObjects(run Run, objs []object.Object) (Run, error) {
 
 // ReadRun reads and decodes every object stored in run.
 func (f *File) ReadRun(run Run) ([]object.Object, error) {
-	return f.ReadRunInto(nil, run)
+	return f.ReadRunIntoCtx(nil, nil, run)
+}
+
+// ReadRunCtx is ReadRun with cancellation: the device aborts at the page
+// boundary where the context expired, charging only the pages actually read.
+func (f *File) ReadRunCtx(ctx context.Context, run Run) ([]object.Object, error) {
+	return f.ReadRunIntoCtx(ctx, nil, run)
 }
 
 // ReadRunInto appends the objects of run to dst.
 func (f *File) ReadRunInto(dst []object.Object, run Run) ([]object.Object, error) {
+	return f.ReadRunIntoCtx(nil, dst, run)
+}
+
+// ReadRunIntoCtx appends the objects of run to dst, aborting on ctx (nil
+// disables cancellation).
+func (f *File) ReadRunIntoCtx(ctx context.Context, dst []object.Object, run Run) ([]object.Object, error) {
 	if run.Count == 0 {
 		return dst, nil
 	}
-	buf, err := f.dev.ReadRun(f.id, run.Start, run.Count)
+	buf, err := f.dev.ReadRunCtx(ctx, f.id, run.Start, run.Count)
 	if err != nil {
 		return dst, err
 	}
@@ -134,10 +147,16 @@ func (f *File) ReadRunInto(dst []object.Object, run Run) ([]object.Object, error
 
 // ReadRuns reads all objects across runs in order.
 func (f *File) ReadRuns(runs []Run) ([]object.Object, error) {
+	return f.ReadRunsCtx(nil, runs)
+}
+
+// ReadRunsCtx reads all objects across runs in order, aborting between and
+// within runs when ctx is canceled (nil disables cancellation).
+func (f *File) ReadRunsCtx(ctx context.Context, runs []Run) ([]object.Object, error) {
 	var out []object.Object
 	var err error
 	for _, r := range runs {
-		out, err = f.ReadRunInto(out, r)
+		out, err = f.ReadRunIntoCtx(ctx, out, r)
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@
 package rawfile
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -80,6 +81,15 @@ func (r *Raw) Bounds() geom.Box { return r.bounds }
 // Scan performs a full sequential in-situ scan, invoking fn for every
 // record in storage order. fn returning an error aborts the scan.
 func (r *Raw) Scan(fn func(object.Object) error) error {
+	return r.ScanCtx(nil, fn)
+}
+
+// ScanCtx is Scan with cancellation: the context (nil disables) is checked
+// at every page boundary, so an abandoned in-situ scan stops charging
+// simulated I/O where it was abandoned. The in-situ first-touch scan is the
+// most expensive single operation in the system — exactly the one an
+// interactive caller most wants to walk away from.
+func (r *Raw) ScanCtx(ctx context.Context, fn func(object.Object) error) error {
 	if r.deleted {
 		return ErrClosed
 	}
@@ -87,7 +97,7 @@ func (r *Raw) Scan(fn func(object.Object) error) error {
 	buf := make([]byte, simdisk.PageSize)
 	dev := r.file.Device()
 	for p := r.run.Start; p < r.run.Start+r.run.Count; p++ {
-		if err := dev.ReadPage(r.file.ID(), p, buf); err != nil {
+		if err := dev.ReadPageCtx(ctx, r.file.ID(), p, buf); err != nil {
 			return err
 		}
 		objs, err := object.DecodePage(buf)

@@ -1,6 +1,7 @@
 package simdisk
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -34,6 +35,7 @@ type Stats struct {
 	SeqPages     int64 // platter accesses that were sequential
 	BytesRead    int64
 	BytesWritten int64
+	CanceledOps  int64 // device operations aborted by context cancellation
 }
 
 // Add accumulates o into s.
@@ -45,6 +47,7 @@ func (s *Stats) Add(o Stats) {
 	s.SeqPages += o.SeqPages
 	s.BytesRead += o.BytesRead
 	s.BytesWritten += o.BytesWritten
+	s.CanceledOps += o.CanceledOps
 }
 
 // file is one page file stored entirely in memory. Its pages are guarded by
@@ -89,6 +92,7 @@ type Device struct {
 	seqPages     atomic.Int64
 	bytesRead    atomic.Int64
 	bytesWritten atomic.Int64
+	canceledOps  atomic.Int64
 
 	// platterMu guards the head position for sequential-run detection.
 	platterMu sync.Mutex
@@ -198,8 +202,14 @@ func (d *Device) NumPages(id FileID) (int64, error) {
 }
 
 // readPage is ReadPage without the real-time emulation: it returns the
-// charged simulated duration so callers (ReadRun) can aggregate sleeps.
-func (d *Device) readPage(id FileID, idx int64, buf []byte) (time.Duration, error) {
+// charged simulated duration so callers (ReadRun) can aggregate sleeps. The
+// context (nil allowed) is checked before any charge, so a read that aborts
+// here has cost nothing — ReadRunCtx relies on this to stop charging exactly
+// at the page boundary where cancellation was observed.
+func (d *Device) readPage(ctx context.Context, id FileID, idx int64, buf []byte) (time.Duration, error) {
+	if err := d.checkCtx(ctx); err != nil {
+		return 0, err
+	}
 	if len(buf) != PageSize {
 		return 0, ErrBadPageSize
 	}
@@ -243,7 +253,7 @@ func (d *Device) readPage(id FileID, idx int64, buf []byte) (time.Duration, erro
 // plus Seek if it does not continue the previous platter access. Parallel
 // reads of cached pages proceed concurrently.
 func (d *Device) ReadPage(id FileID, idx int64, buf []byte) error {
-	dt, err := d.readPage(id, idx, buf)
+	dt, err := d.readPage(nil, id, idx, buf)
 	if err != nil {
 		return err
 	}
@@ -322,20 +332,7 @@ func (d *Device) AppendPage(id FileID, data []byte) (int64, error) {
 // merge files use. Real-time emulation sleeps once for the whole run, not
 // per page, so OS sleep granularity does not inflate sequential scans.
 func (d *Device) ReadRun(id FileID, start, n int64) ([]byte, error) {
-	if n < 0 {
-		return nil, fmt.Errorf("simdisk: negative run length %d", n)
-	}
-	buf := make([]byte, n*PageSize)
-	var total time.Duration
-	for i := int64(0); i < n; i++ {
-		dt, err := d.readPage(id, start+i, buf[i*PageSize:(i+1)*PageSize])
-		if err != nil {
-			return nil, err
-		}
-		total += dt
-	}
-	d.emulate(total)
-	return buf, nil
+	return d.ReadRunCtx(nil, id, start, n)
 }
 
 // chargePlatter advances the simulated clock for one platter access to key,
@@ -415,15 +412,37 @@ func (d *Device) RealTimeScale() float64 {
 // emulate sleeps the scaled wall-clock equivalent of a charged simulated
 // duration when real-time emulation is on. Called with no locks held.
 func (d *Device) emulate(dt time.Duration) {
+	_ = d.emulateCtx(nil, dt)
+}
+
+// emulateCtx is emulate with an abortable wait: when ctx (nil allowed) is
+// canceled mid-sleep the wait ends immediately and the cancellation error is
+// returned, so a real-time emulated device never holds an abandoned query
+// hostage for the remainder of its simulated latency. The simulated clock
+// was charged before the sleep either way — the I/O itself happened; only
+// the wall-clock wait is cut short. Called with no locks held.
+func (d *Device) emulateCtx(ctx context.Context, dt time.Duration) error {
 	bits := d.realTime.Load()
 	if bits == 0 || dt <= 0 {
-		return
+		return nil
 	}
 	ns := float64(dt) * math.Float64frombits(bits)
 	if ns < 1000 { // below timer resolution; cache hits are meant to be free
-		return
+		return nil
 	}
-	time.Sleep(time.Duration(ns))
+	if ctx == nil {
+		time.Sleep(time.Duration(ns))
+		return nil
+	}
+	timer := time.NewTimer(time.Duration(ns))
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		d.canceledOps.Add(1)
+		return Canceled(ctx.Err())
+	}
 }
 
 // Stats returns a snapshot of the device counters, aggregating the cache's
@@ -438,6 +457,7 @@ func (d *Device) Stats() Stats {
 		SeqPages:     d.seqPages.Load(),
 		BytesRead:    d.bytesRead.Load(),
 		BytesWritten: d.bytesWritten.Load(),
+		CanceledOps:  d.canceledOps.Load(),
 	}
 }
 
@@ -449,6 +469,7 @@ func (d *Device) ResetStats() {
 	d.seqPages.Store(0)
 	d.bytesRead.Store(0)
 	d.bytesWritten.Store(0)
+	d.canceledOps.Store(0)
 	d.cache.ResetHits()
 }
 

@@ -61,6 +61,12 @@ const (
 	MergeCoarsestCover = core.CoarsestCover
 )
 
+// ErrCanceled is the storage stack's cancellation sentinel: every error a
+// canceled or deadline-expired query returns wraps it, alongside the
+// context's own error. Match with errors.Is(err, ErrCanceled) — or with
+// context.Canceled / context.DeadlineExceeded, or the IsCanceled helper.
+var ErrCanceled = simdisk.ErrCanceled
+
 // Geometry constructors, re-exported for convenience.
 var (
 	// V constructs a Vec.
