@@ -422,6 +422,102 @@ func BenchmarkParallelQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkChannelScaling measures how the multi-channel storage layer
+// shrinks *simulated* time under parallel serving: the default miss-heavy
+// workload (caches dropped before every query, so every query pays platter
+// time) is replayed through an 8-worker pool on storage topologies from one
+// single-head device up to a 2-device array with 4 channels each. With one
+// channel every miss serializes on one seek queue, so sim_seconds barely
+// moves with workers (BENCH_parallel.json); with C channels per device and
+// D devices the simulated clock is the critical path across C*D heads and
+// drops as the topology widens. The series is recorded in
+// BENCH_channels.json; the single-channel point also anchors the
+// "bit-for-bit identical to the single-device model" guarantee.
+func BenchmarkChannelScaling(b *testing.B) {
+	const (
+		nQueries = 96
+		workers  = 8
+		nDS      = 6
+	)
+	data := GenerateDatasets(DataConfig{Seed: 3, NumObjects: 3000, Clusters: 5}, nDS)
+	w, err := GenerateWorkload(WorkloadConfig{
+		Seed: 11, NumQueries: nQueries, NumDatasets: nDS, DatasetsPerQuery: 2,
+		QueryVolumeFrac: 1e-4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	newConverged := func(devices, channels int) *Explorer {
+		ex, err := NewExplorer(Options{
+			Cost:               simdisk.ReducedScaleCostModel(),
+			DropCachesPerQuery: true, // miss-heavy: every query pays platter time
+			Devices:            devices,
+			Channels:           channels,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i, objs := range data {
+			if err := ex.AddDataset(DatasetID(i), objs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, q := range w.Queries {
+			if _, err := ex.Query(q.Range, q.Datasets); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ex.SetRealTimeScale(1)
+		// Measure the serving phase from a zeroed clock: on multi-channel
+		// topologies, deltas across the imbalanced convergence phase are
+		// shadowed by the busiest channel's head start.
+		ex.ResetClock()
+		return ex
+	}
+
+	type topo struct{ C, D int }
+	configs := []topo{{1, 1}, {2, 1}, {4, 1}, {1, 2}, {2, 2}, {4, 2}}
+	walls := make(map[topo]time.Duration, len(configs))
+	sims := make(map[topo]time.Duration, len(configs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tc := range configs {
+			ex := newConverged(tc.D, tc.C)
+			t0 := time.Now()
+			if _, err := ex.QueryBatch(w.Queries, workers); err != nil {
+				b.Fatal(err)
+			}
+			walls[tc], sims[tc] = time.Since(t0), ex.Clock()
+		}
+	}
+	b.StopTimer()
+
+	base := sims[topo{1, 1}]
+	b.ReportMetric(base.Seconds(), "sim_sec_c1d1")
+	b.ReportMetric(sims[topo{4, 2}].Seconds(), "sim_sec_c4d2")
+	b.ReportMetric(base.Seconds()/sims[topo{4, 2}].Seconds(), "sim_speedup_c4d2")
+
+	points := make([]bench.TrajectoryPoint, 0, len(configs))
+	for _, tc := range configs {
+		// No serial baseline in this series — every point is the 8-worker
+		// pool; comparisons are against the C=1 D=1 pooled point.
+		p := bench.NewTrajectoryPoint(
+			"channel-scaling", workers, nQueries, walls[tc], sims[tc], 0)
+		p.Channels, p.Devices = tc.C, tc.D
+		if sims[tc] > 0 {
+			p.SimSpeedupVsBase = base.Seconds() / sims[tc].Seconds()
+		}
+		if walls[tc] > 0 {
+			p.WallSpeedupVsBase = walls[topo{1, 1}].Seconds() / walls[tc].Seconds()
+		}
+		points = append(points, p)
+	}
+	if err := bench.WriteTrajectory("BENCH_channels.json", points); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkMergeRouting measures the merger's directory lookup.
 func BenchmarkMergeRouting(b *testing.B) {
 	_ = core.DefaultConfig() // keep the core import for the metric types

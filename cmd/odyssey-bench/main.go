@@ -21,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -58,6 +59,10 @@ func main() {
 		deadline   = flag.Duration("deadline", 0, "per-query deadline in the -parallel experiment (0 = none); canceled queries are counted and abort at the next page boundary")
 		maxInFl    = flag.Int("maxinflight", 0, "admission cap on in-flight queries in the -parallel experiment (0 = unlimited); beyond it submissions fast-fail with ErrOverloaded")
 		queueWait  = flag.Duration("queuewait", 0, "how long a submission may wait for an in-flight slot before fast-failing (needs -maxinflight)")
+		devices    = flag.Int("devices", 1, "number of simulated member devices to stripe files across")
+		channels   = flag.Int("channels", 1, "independent I/O channels (platter heads) per device")
+		placement  = flag.String("placement", "affinity", "file placement across devices: affinity|roundrobin")
+		jsonPath   = flag.String("json", "", "also write the -parallel serving report (topology, timings, per-channel utilization) as JSON to this file")
 	)
 	flag.Parse()
 
@@ -74,6 +79,15 @@ func main() {
 	cfg.GridCells = *gridCells
 	cfg.Cost.Seek = time.Duration(*seekUS) * time.Microsecond
 	cfg.Cost.Transfer = time.Duration(*transferUS) * time.Microsecond
+	cfg.Devices = *devices
+	cfg.Channels = *channels
+	cfg.Placement = *placement
+	if *devices < 1 || *channels < 1 {
+		fatalf("-devices and -channels must be >= 1")
+	}
+	if _, err := bench.PlacementByName(*placement); err != nil {
+		fatalf("%v", err)
+	}
 	switch *layout {
 	case "clustered":
 		cfg.DataLayout = datagen.Clustered
@@ -118,11 +132,14 @@ func main() {
 			Deadline:    *deadline,
 			QueueWait:   *queueWait,
 		}
-		runParallelServing(cfg, wcfg, *parallel, *rtScale, adm)
+		runParallelServing(cfg, wcfg, *parallel, *rtScale, adm, *jsonPath)
 		return
 	}
 	if *deadline != 0 || *maxInFl != 0 || *queueWait != 0 {
 		fatalf("-deadline/-maxinflight/-queuewait only apply to the -parallel experiment")
+	}
+	if *jsonPath != "" {
+		fatalf("-json only applies to the -parallel experiment")
 	}
 
 	env := bench.NewEnv(cfg)
@@ -183,10 +200,12 @@ func main() {
 // (platter charges sleep their scaled simulated duration), so the pool's
 // wall-clock speedup reflects genuinely overlapped I/O waits. With a
 // deadline or in-flight cap configured, the pooled run additionally reports
-// the admission ledger (admitted/rejected/canceled/completed) and per-query
-// latency percentiles; the serial baseline always runs without deadlines so
-// the two runs are comparable.
-func runParallelServing(cfg bench.Config, wcfg bench.WorkloadConfig, workers int, scale float64, adm odyssey.AdmissionConfig) {
+// the admission ledger (admitted/rejected/canceled/swept/completed) and
+// per-query latency percentiles; the serial baseline always runs without
+// deadlines so the two runs are comparable. The storage topology follows
+// -devices/-channels/-placement, and the report breaks utilization down per
+// device and per channel (jsonPath non-empty also writes it as JSON).
+func runParallelServing(cfg bench.Config, wcfg bench.WorkloadConfig, workers int, scale float64, adm odyssey.AdmissionConfig, jsonPath string) {
 	spec, err := bench.FigureByID("fig4a")
 	if err != nil {
 		fatalf("%v", err)
@@ -210,9 +229,14 @@ func runParallelServing(cfg bench.Config, wcfg bench.WorkloadConfig, workers int
 	}, cfg.Datasets)
 
 	newConverged := func() *odyssey.Explorer {
+		policy, err := bench.PlacementByName(cfg.Placement)
+		if err != nil {
+			fatalf("%v", err)
+		}
 		ex, err := odyssey.NewExplorer(odyssey.Options{
 			Bounds: cfg.Bounds, Cost: cfg.Cost, CachePages: cfg.CachePages,
 			DropCachesPerQuery: true,
+			Devices:            cfg.Devices, Channels: cfg.Channels, Placement: policy,
 		})
 		if err != nil {
 			fatalf("%v", err)
@@ -245,11 +269,17 @@ func runParallelServing(cfg bench.Config, wcfg bench.WorkloadConfig, workers int
 		return ex
 	}
 
-	fmt.Printf("concurrent serving: %d datasets x %d objects, %d queries, %d workers, realtime x%g\n\n",
+	fmt.Printf("concurrent serving: %d datasets x %d objects, %d queries, %d workers, realtime x%g\n",
 		cfg.Datasets, cfg.ObjectsPerDataset, wcfg.Queries, workers, scale)
+	fmt.Printf("storage: %d device(s) x %d channel(s), placement %s\n\n",
+		cfg.Devices, cfg.Channels, cfg.Placement)
 
 	// Serial baseline.
 	ex := newConverged()
+	// Measure from a zeroed clock: on a multi-channel topology, deltas
+	// across the (imbalanced) convergence phase under-report — the busiest
+	// channel's head start shadows measured-phase work on the others.
+	ex.ResetClock()
 	sim0 := ex.Clock()
 	t0 := time.Now()
 	for _, q := range w.Queries {
@@ -266,7 +296,9 @@ func runParallelServing(cfg bench.Config, wcfg bench.WorkloadConfig, workers int
 	// Pooled run via the dispatcher, to surface per-worker stats and (when
 	// configured) the admission controller's behaviour under deadlines.
 	ex = newConverged()
+	ex.ResetClock() // see the serial baseline's comment
 	m0 := ex.Metrics()
+	chan0 := ex.ChannelStats() // baseline for the measured run's utilization
 	sim0 = ex.Clock()
 	d := odyssey.NewDispatcherWithAdmission(ex, workers, adm)
 	out := make(chan odyssey.BatchResult, len(w.Queries))
@@ -307,8 +339,8 @@ func runParallelServing(cfg bench.Config, wcfg bench.WorkloadConfig, workers int
 		workers, poolWall.Seconds(), poolSim.Seconds(),
 		float64(admitted)/poolWall.Seconds(),
 		serialWall.Seconds()/poolWall.Seconds())
-	fmt.Printf("admission: %d admitted  %d rejected  %d canceled  %d completed\n",
-		st.Admitted, st.Rejected, st.Canceled, st.Completed) // failures fatal above
+	fmt.Printf("admission: %d admitted  %d rejected  %d canceled (%d swept in queue)  %d completed\n",
+		st.Admitted, st.Rejected, st.Canceled, st.Swept, st.Completed) // failures fatal above
 	if adm.Deadline > 0 {
 		fmt.Printf("deadline %v: %d of %d admitted queries canceled (%.1f%%)\n",
 			adm.Deadline, canceled, admitted,
@@ -325,6 +357,101 @@ func runParallelServing(cfg bench.Config, wcfg bench.WorkloadConfig, workers int
 		fmt.Printf("  worker %2d: %4d queries (%d canceled) in %8.3fs busy  %7.1f q/s\n",
 			ws.Worker, ws.Queries, ws.Canceled, ws.Busy.Seconds(), ws.Throughput())
 	}
+
+	// Per-device / per-channel utilization of the measured pooled run:
+	// busy platter time relative to the run's simulated elapsed time.
+	chans := ex.ChannelStats()
+	topo := ex.Topology()
+	report := servingReport{
+		Devices:   topo.Devices,
+		Channels:  topo.Channels,
+		Placement: topo.Placement,
+		Workers:   workers,
+		Queries:   len(w.Queries),
+		Serial:    servingRun{WallSeconds: serialWall.Seconds(), SimSeconds: serialSim.Seconds()},
+		Pool: servingRun{
+			WallSeconds: poolWall.Seconds(), SimSeconds: poolSim.Seconds(),
+			Speedup: serialWall.Seconds() / poolWall.Seconds(),
+		},
+		Admission: admissionReport{
+			Admitted: st.Admitted, Rejected: st.Rejected, Canceled: st.Canceled,
+			Swept: st.Swept, Completed: st.Completed, Failed: st.Failed,
+		},
+	}
+	fmt.Println("\nper-channel utilization (measured run):")
+	for di := range chans {
+		for ci := range chans[di] {
+			cs := chans[di][ci]
+			if di < len(chan0) && ci < len(chan0[di]) {
+				base := chan0[di][ci]
+				cs.Busy -= base.Busy
+				cs.Seeks -= base.Seeks
+				cs.SeqPages -= base.SeqPages
+			}
+			util := 0.0
+			if poolSim > 0 {
+				util = cs.Busy.Seconds() / poolSim.Seconds()
+			}
+			fmt.Printf("  device %d channel %d: %8.3fs busy  %5.1f%% util  %6d seeks  %6d seq pages\n",
+				di, ci, cs.Busy.Seconds(), 100*util, cs.Seeks, cs.SeqPages)
+			report.ChannelUtil = append(report.ChannelUtil, channelUtil{
+				Device: di, Channel: cs.Channel,
+				BusySeconds: cs.Busy.Seconds(), Utilization: util,
+				Seeks: cs.Seeks, SeqPages: cs.SeqPages,
+			})
+		}
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("\n(wrote %s)\n", jsonPath)
+	}
+}
+
+// servingRun is one timed replay of the workload.
+type servingRun struct {
+	WallSeconds float64 `json:"wall_seconds"`
+	SimSeconds  float64 `json:"sim_seconds"`
+	Speedup     float64 `json:"speedup_vs_serial,omitempty"`
+}
+
+// channelUtil is one channel's share of the measured run.
+type channelUtil struct {
+	Device      int     `json:"device"`
+	Channel     int     `json:"channel"`
+	BusySeconds float64 `json:"busy_seconds"`
+	Utilization float64 `json:"utilization"`
+	Seeks       int64   `json:"seeks"`
+	SeqPages    int64   `json:"seq_pages"`
+}
+
+// admissionReport mirrors odyssey.AdmissionStats with snake_case keys so
+// the whole JSON document keeps one naming convention.
+type admissionReport struct {
+	Admitted  int64 `json:"admitted"`
+	Rejected  int64 `json:"rejected"`
+	Canceled  int64 `json:"canceled"`
+	Swept     int64 `json:"swept"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+}
+
+// servingReport is the machine-readable form of the -parallel experiment.
+type servingReport struct {
+	Devices     int             `json:"devices"`
+	Channels    int             `json:"channels"`
+	Placement   string          `json:"placement"`
+	Workers     int             `json:"workers"`
+	Queries     int             `json:"queries"`
+	Serial      servingRun      `json:"serial"`
+	Pool        servingRun      `json:"pool"`
+	Admission   admissionReport `json:"admission"`
+	ChannelUtil []channelUtil   `json:"channel_utilization"`
 }
 
 // pct rounds bench.Percentile for display.

@@ -137,6 +137,31 @@ func TestConcurrentQueriesMatchOracleNoMerge(t *testing.T) {
 	}
 }
 
+// TestConcurrentQueriesMatchOracleDeviceArray runs the main equivalence
+// storm on a 2-device array with 2 channels per device: datasets striped by
+// affinity, merge files co-located with their hottest member, every cache
+// miss routed to a per-file channel head. Result sets must stay equal to
+// the NaiveScan oracle — placement moves I/O between spindles, it must
+// never change what a query returns.
+func TestConcurrentQueriesMatchOracleDeviceArray(t *testing.T) {
+	env := newOracleEnv(t, Options{Devices: 2, Channels: 2}, 3, 2000)
+	if topo := env.ex.Topology(); topo.Devices != 2 || topo.Channels != 2 || topo.Placement != "affinity" {
+		t.Fatalf("Topology() = %+v, want 2 devices x 2 channels, affinity", topo)
+	}
+	runConcurrentOracle(t, env, 8, 20)
+	if m := env.ex.Metrics(); m.Queries != 8*20 {
+		t.Errorf("engine recorded %d queries, want %d", m.Queries, 8*20)
+	}
+	// Per-device counters must sum to the aggregate view.
+	var sum DiskStats
+	for _, s := range env.ex.DeviceStats() {
+		sum.Add(s)
+	}
+	if sum != env.ex.DiskStats() {
+		t.Errorf("DeviceStats sum %+v != DiskStats %+v", sum, env.ex.DiskStats())
+	}
+}
+
 // TestConcurrentQueriesSmallCache forces heavy cache-eviction traffic
 // through the sharded LRU while queries race (capacity far below the
 // working set, so shards churn constantly).

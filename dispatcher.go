@@ -47,11 +47,13 @@ type BatchResult struct {
 	Query Query
 	// Objects is the result set (nil when Err is set).
 	Objects []Object
-	// Worker is the pool worker that served the query.
+	// Worker is the pool worker that served the query, or SweptWorker (-1)
+	// when the sweeper returned a dead-on-arrival job straight from the
+	// queue without it ever reaching a worker.
 	Worker int
-	// Wait is the queue wait: submit to worker pickup. A query canceled
-	// while still queued is picked up and skipped, so its Wait is real but
-	// its Wall is ~0.
+	// Wait is the queue wait: submit to worker pickup (or to the sweeper's
+	// early return). A query canceled while still queued is returned with
+	// its real Wait and a ~0 Wall.
 	Wait time.Duration
 	// Wall is the wall-clock time the query took on its worker.
 	Wall time.Duration
@@ -60,6 +62,10 @@ type BatchResult struct {
 	// context.DeadlineExceeded).
 	Err error
 }
+
+// SweptWorker is the BatchResult.Worker value of a query the sweeper
+// returned while it was still queued: no pool worker ever touched it.
+const SweptWorker = -1
 
 // WorkerStats summarizes one pool worker's activity.
 type WorkerStats struct {
@@ -115,6 +121,12 @@ type AdmissionStats struct {
 	// so Admitted == Completed + Canceled + Failed once the dispatcher is
 	// closed.
 	Canceled int64
+	// Swept is how many of the canceled queries the sweeper returned
+	// straight from the queue — their context died before any worker
+	// picked them up, and instead of occupying queue slots until a worker
+	// skipped them they were delivered back to the submitter immediately.
+	// Swept queries are included in Canceled.
+	Swept int64
 	// Completed is how many admitted queries finished successfully.
 	Completed int64
 	// Failed is how many admitted queries ended in a non-cancellation error
@@ -134,11 +146,16 @@ type Dispatcher struct {
 	jobs  chan dispatchJob
 	slots chan struct{} // in-flight semaphore; nil when MaxInFlight == 0
 	wg    sync.WaitGroup
-	stats []WorkerStats
+	// sweepWg tracks the per-job sweeper watchers; Close drains it after
+	// the workers so no sweeper delivery can race the caller closing its
+	// result channel.
+	sweepWg sync.WaitGroup
+	stats   []WorkerStats
 
 	admitted  atomic.Int64
 	rejected  atomic.Int64
 	canceled  atomic.Int64
+	swept     atomic.Int64
 	completed atomic.Int64
 	failed    atomic.Int64
 
@@ -156,6 +173,13 @@ type dispatchJob struct {
 	cancel    context.CancelFunc // non-nil when the dispatcher attached a deadline
 	submitted time.Time
 	out       chan<- BatchResult
+
+	// done arbitrates between the worker that pops the job and the sweeper
+	// watching its context: whoever flips it first owns delivery. claimed
+	// is closed by the worker on pop so the watcher can retire. Both are
+	// nil for jobs with an uncancellable context (nothing to sweep).
+	done    *atomic.Bool
+	claimed chan struct{}
 }
 
 // NewDispatcher starts a pool of the given number of workers over the
@@ -204,10 +228,14 @@ func (d *Dispatcher) AdmissionStats() AdmissionStats {
 		Admitted:  d.admitted.Load(),
 		Rejected:  d.rejected.Load(),
 		Canceled:  d.canceled.Load(),
+		Swept:     d.swept.Load(),
 		Completed: d.completed.Load(),
 		Failed:    d.failed.Load(),
 	}
 }
+
+// Topology reports the storage layout of the Explorer the pool serves.
+func (d *Dispatcher) Topology() Topology { return d.ex.Topology() }
 
 // Submit enqueues one query with no caller context; its result is delivered
 // on out. Without admission control Submit blocks when all workers are busy
@@ -269,6 +297,11 @@ func (d *Dispatcher) SubmitCtx(ctx context.Context, index int, q Query, out chan
 			job.ctx, job.cancel = context.WithTimeout(ctx, d.cfg.Deadline)
 		}
 	}
+	if job.ctx.Done() != nil {
+		// The job can expire in the queue; arm the sweeper's claim state.
+		job.done = new(atomic.Bool)
+		job.claimed = make(chan struct{})
+	}
 	d.sendMu.RLock()
 	if d.closed {
 		d.sendMu.RUnlock()
@@ -278,26 +311,85 @@ func (d *Dispatcher) SubmitCtx(ctx context.Context, index int, q Query, out chan
 		d.releaseSlot()
 		return ErrClosed
 	}
-	// With admission on, the queue is sized for MaxInFlight jobs, so this
-	// send cannot block while holding sendMu; without admission it may —
-	// that is the documented blocking backpressure — but cancellation still
-	// abandons the wait (the channel cannot be closed underneath the select:
-	// Close needs sendMu exclusively first). Watching job.ctx, not ctx,
-	// means a dispatcher-attached default deadline bounds the queue wait
-	// too; the two are identical when no deadline was attached.
-	select {
-	case d.jobs <- job:
-	case <-job.ctx.Done():
-		d.sendMu.RUnlock()
-		if job.cancel != nil {
-			job.cancel()
+	if d.slots != nil {
+		// With admission on, the queue is sized for MaxInFlight live jobs —
+		// but swept jobs keep their queue entries until a worker discards
+		// them, so under a backlog of zombies the send could block while
+		// holding sendMu (stalling a concurrent Close). It must not: shed
+		// the submission like any other overload instead. Workers drain
+		// zombies without doing work, so the condition clears in
+		// microseconds.
+		select {
+		case d.jobs <- job:
+		default:
+			d.sendMu.RUnlock()
+			if job.cancel != nil {
+				job.cancel()
+			}
+			d.releaseSlot()
+			d.rejected.Add(1)
+			return ErrOverloaded
 		}
-		d.releaseSlot()
-		return simdisk.Canceled(job.ctx.Err())
+	} else {
+		// Without admission the send may block — that is the documented
+		// blocking backpressure — but cancellation still abandons the wait
+		// (the channel cannot be closed underneath the select: Close needs
+		// sendMu exclusively first). Watching job.ctx, not ctx, means a
+		// dispatcher-attached default deadline bounds the queue wait too;
+		// the two are identical when no deadline was attached.
+		select {
+		case d.jobs <- job:
+		case <-job.ctx.Done():
+			d.sendMu.RUnlock()
+			if job.cancel != nil {
+				job.cancel()
+			}
+			d.releaseSlot()
+			return simdisk.Canceled(job.ctx.Err())
+		}
 	}
 	d.admitted.Add(1)
+	if job.done != nil {
+		d.sweepWg.Add(1)
+		go d.sweep(job)
+	}
 	d.sendMu.RUnlock()
 	return nil
+}
+
+// sweep watches one queued job's context. If the context dies before a
+// worker claims the job, the sweeper delivers the cancellation result and
+// releases the in-flight slot immediately — the submitter gets its answer
+// and its capacity back at expiry time instead of after the residual queue
+// wait — and the worker that eventually pops the job discards it. Exactly
+// one of worker and sweeper delivers (the done flag arbitrates). The
+// discarded job still occupies a queue entry until that pop, which is why
+// the admission-path enqueue in SubmitCtx is non-blocking: a zombie
+// backlog sheds new submissions instead of blocking them.
+func (d *Dispatcher) sweep(job dispatchJob) {
+	defer d.sweepWg.Done()
+	select {
+	case <-job.claimed:
+		return
+	case <-job.ctx.Done():
+	}
+	if !job.done.CompareAndSwap(false, true) {
+		return // a worker claimed the job first
+	}
+	err := simdisk.Canceled(job.ctx.Err())
+	if job.cancel != nil {
+		job.cancel()
+	}
+	d.releaseSlot()
+	d.canceled.Add(1)
+	d.swept.Add(1)
+	job.out <- BatchResult{
+		Index:  job.index,
+		Query:  job.query,
+		Worker: SweptWorker,
+		Wait:   time.Since(job.submitted),
+		Err:    err,
+	}
 }
 
 // releaseSlot frees one in-flight slot (no-op without admission control).
@@ -308,7 +400,9 @@ func (d *Dispatcher) releaseSlot() {
 }
 
 // Close stops accepting work and blocks until every submitted query has
-// finished. Safe to call more than once and concurrently with Submit.
+// finished — including any sweeper deliveries, so once Close returns the
+// caller may safely close its result channel. Safe to call more than once
+// and concurrently with Submit.
 func (d *Dispatcher) Close() {
 	d.closing.Do(func() {
 		d.sendMu.Lock()
@@ -317,6 +411,9 @@ func (d *Dispatcher) Close() {
 		close(d.jobs)
 	})
 	d.wg.Wait()
+	// Every job has been popped by now (claimed or discarded), so every
+	// watcher can finish; wait so no delivery outlives Close.
+	d.sweepWg.Wait()
 }
 
 // WorkerStats returns per-worker activity. Call after Close; during a run
@@ -328,16 +425,24 @@ func (d *Dispatcher) WorkerStats() []WorkerStats {
 }
 
 // worker serves jobs until the queue closes. Each worker owns its stats
-// slot, so no locking is needed on the hot path. A job whose context died
-// in the queue is skipped, not executed: it is delivered straight back with
-// the cancellation error, which is what keeps worker time off
-// dead-on-arrival queries and the queue draining at full speed during a
-// cancellation storm.
+// slot, so no locking is needed on the hot path. A job the sweeper already
+// returned is discarded on pop; a job whose context died in the queue but
+// which the worker claimed first is skipped, not executed — delivered
+// straight back with the cancellation error. Either way no worker time is
+// spent on dead-on-arrival queries and the queue drains at full speed
+// during a cancellation storm.
 func (d *Dispatcher) worker(w int) {
 	defer d.wg.Done()
 	st := &d.stats[w]
 	st.Worker = w
 	for job := range d.jobs {
+		if job.done != nil {
+			won := job.done.CompareAndSwap(false, true)
+			close(job.claimed) // retire the sweeper's watcher
+			if !won {
+				continue // the sweeper already returned this job
+			}
+		}
 		wait := time.Since(job.submitted)
 		var objs []Object
 		err := simdisk.CheckCtx(job.ctx)

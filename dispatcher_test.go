@@ -355,3 +355,149 @@ func sameObjects(a, b []Object) bool {
 	}
 	return true
 }
+
+// TestDispatcherSweeperReturnsDeadQueuedJobs pins the sweeper contract: a
+// queued query whose context dies before any worker reaches it is returned
+// to the submitter immediately (Worker == SweptWorker), counted in
+// AdmissionStats.Swept, and never occupies a worker. The single worker is
+// pinned down by a first query whose level-0 build runs on a real-time
+// emulated disk, so the second, canceled job would otherwise sit in the
+// queue for the whole build.
+func TestDispatcherSweeperReturnsDeadQueuedJobs(t *testing.T) {
+	ex, err := NewExplorer(Options{RealTimeScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := GenerateDatasets(DataConfig{Seed: 5, NumObjects: 1500, Clusters: 3}, 2)
+	for i, objs := range data {
+		if err := ex.AddDataset(DatasetID(i), objs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := NewDispatcher(ex, 1)
+	out := make(chan BatchResult, 2)
+	q := Query{Range: Cube(V(0.5, 0.5, 0.5), 0.1), Datasets: []DatasetID{0, 1}}
+
+	// Job 0 occupies the only worker with the expensive first-touch build.
+	if err := d.Submit(0, q, out); err != nil {
+		t.Fatal(err)
+	}
+	// Job 1 queues behind it and is canceled while waiting.
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := d.SubmitCtx(ctx, 1, q, out); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+
+	// The swept result must arrive long before the worker frees up.
+	select {
+	case r := <-out:
+		if r.Index != 1 {
+			t.Fatalf("first delivered result is job %d, want the swept job 1", r.Index)
+		}
+		if r.Worker != SweptWorker {
+			t.Fatalf("swept job carries worker %d, want SweptWorker", r.Worker)
+		}
+		if !IsCanceled(r.Err) || !errors.Is(r.Err, ErrCanceled) {
+			t.Fatalf("swept job error = %v, want a wrapped ErrCanceled", r.Err)
+		}
+		if r.Objects != nil {
+			t.Fatalf("swept job leaked %d objects", len(r.Objects))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled queued job was not swept back while the worker was busy")
+	}
+
+	d.Close()
+	close(out)
+	r := <-out
+	if r.Index != 0 || r.Err != nil {
+		t.Fatalf("worker job result = %+v", r)
+	}
+	st := d.AdmissionStats()
+	if st.Admitted != 2 || st.Swept != 1 || st.Canceled != 1 || st.Completed != 1 || st.Failed != 0 {
+		t.Fatalf("AdmissionStats = %+v, want 2 admitted, 1 swept, 1 canceled, 1 completed", st)
+	}
+	if st.Admitted != st.Completed+st.Canceled+st.Failed {
+		t.Fatalf("admission ledger does not balance: %+v", st)
+	}
+}
+
+// TestDispatcherSweeperZombiesNeverBlockSubmit pins the admission-capacity
+// side of sweeping: a swept job frees its in-flight slot immediately but
+// still occupies a queue entry until a worker discards it, so a submission
+// that finds the queue full of zombies must shed with ErrOverloaded —
+// never block on the send (which would stall Submit and Close behind the
+// busy worker).
+func TestDispatcherSweeperZombiesNeverBlockSubmit(t *testing.T) {
+	ex, err := NewExplorer(Options{RealTimeScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := GenerateDatasets(DataConfig{Seed: 5, NumObjects: 1500, Clusters: 3}, 2)
+	for i, objs := range data {
+		if err := ex.AddDataset(DatasetID(i), objs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := NewDispatcherWithAdmission(ex, 1, AdmissionConfig{MaxInFlight: 3})
+	out := make(chan BatchResult, 4)
+	q := Query{Range: Cube(V(0.5, 0.5, 0.5), 0.1), Datasets: []DatasetID{0, 1}}
+
+	// Fill the in-flight cap: one job on the worker, two queued. The pause
+	// lets the worker pop job 0 (its level-0 build then occupies it for
+	// hundreds of milliseconds), so the queue afterwards holds exactly the
+	// two jobs below.
+	if err := d.Submit(0, q, out); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	var cancels []context.CancelFunc
+	for i := 1; i <= 2; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancels = append(cancels, cancel)
+		if err := d.SubmitCtx(ctx, i, q, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, cancel := range cancels {
+		cancel()
+	}
+	// Both queued jobs are swept back...
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-out:
+			if r.Worker != SweptWorker {
+				t.Fatalf("result %d: worker %d, want SweptWorker", r.Index, r.Worker)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("queued canceled jobs were not swept")
+		}
+	}
+	// ...freeing their slots at once: a new submission is admitted into the
+	// queue entry the worker's own job left behind...
+	start := time.Now()
+	if err := d.Submit(3, q, out); err != nil {
+		t.Fatalf("submit after sweep: %v, want admission into the freed capacity", err)
+	}
+	// ...and when the queue itself is full of zombies plus the admitted
+	// job, the next submission sheds immediately instead of blocking on the
+	// send behind the busy worker.
+	err = d.Submit(4, q, out)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("submit into a zombie-full queue: %v, want ErrOverloaded", err)
+	}
+	if elapsed > 200*time.Millisecond {
+		t.Errorf("submissions over a zombie backlog took %v — one of them queue-blocked", elapsed)
+	}
+	d.Close()
+	close(out)
+	st := d.AdmissionStats()
+	if st.Admitted != 4 || st.Swept != 2 || st.Rejected != 1 || st.Completed != 2 {
+		t.Fatalf("AdmissionStats = %+v, want 4 admitted, 2 swept, 1 rejected, 2 completed", st)
+	}
+	if st.Admitted != st.Completed+st.Canceled+st.Failed {
+		t.Fatalf("admission ledger does not balance: %+v", st)
+	}
+}

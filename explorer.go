@@ -62,6 +62,32 @@ type Options struct {
 	// QueryBatch/QueryConcurrent exist to exploit. 0 (default) keeps the
 	// disk purely virtual and instant.
 	RealTimeScale float64
+	// Devices is the number of simulated member devices datasets stripe
+	// across (default 1 — a single device, the paper's baseline setup; the
+	// paper's own evaluation hardware had two SAS disks). With Devices > 1
+	// file placement follows the Placement policy and the simulated clock
+	// reports the critical path across devices.
+	Devices int
+	// Channels is the number of independent I/O channels (platter heads,
+	// with per-channel seek detection) per device; default 1, the original
+	// single-head cost model. Cache misses on files of different channels
+	// overlap instead of serializing on one seek queue.
+	Channels int
+	// Placement chooses the member device for each new file when
+	// Devices > 1. Default GroupAffinityPlacement(): a dataset's raw and
+	// tree files co-locate, and merge files land next to their hottest
+	// member dataset. RoundRobinPlacement() stripes files blindly.
+	Placement PlacementPolicy
+}
+
+// Topology describes the storage layout an Explorer runs on.
+type Topology struct {
+	// Devices is the member-device count D (1 = single device).
+	Devices int
+	// Channels is the per-device I/O channel count C.
+	Channels int
+	// Placement names the file placement policy ("single" when D == 1).
+	Placement string
 }
 
 // engineConfig translates Options into the internal configuration.
@@ -102,7 +128,7 @@ func (o Options) engineConfig() core.Config {
 // that reset must not land in the middle of an in-flight query's timing.
 type Explorer struct {
 	opts   Options
-	dev    *simdisk.Device
+	dev    simdisk.Storage
 	engine *core.Odyssey
 
 	// mu guards raws, and orders queries (shared) against AddDataset
@@ -127,7 +153,7 @@ func NewExplorer(opts Options) (*Explorer, error) {
 	if opts.CachePages == 0 {
 		opts.CachePages = 1024
 	}
-	dev := simdisk.NewDevice(opts.Cost, opts.CachePages)
+	dev := simdisk.NewStorage(opts.Cost, opts.CachePages, opts.Devices, opts.Channels, opts.Placement)
 	if opts.RealTimeScale > 0 {
 		dev.SetRealTimeScale(opts.RealTimeScale)
 	}
@@ -210,7 +236,13 @@ func (e *Explorer) QueryCtx(ctx context.Context, q Box, datasets []DatasetID) ([
 // like the paper's cold-cache methodology. The latency is a shared-clock
 // delta: when other queries run concurrently their charges are included, so
 // per-query timings are only meaningful for serial use (QueryBatch reports
-// aggregate simulated time instead).
+// aggregate simulated time instead). They are exact only on the default
+// single-device single-channel topology: with Channels or Devices > 1 the
+// clock is a critical-path max, so a query whose I/O lands on a channel
+// still shadowed by an earlier query's busier channel reports a smaller
+// delta (down to ~0) — per-query attribution across channels is a known
+// follow-up (see ROADMAP); use the per-channel ChannelStats for exact
+// charged time.
 func (e *Explorer) QueryTimed(q Box, datasets []DatasetID) ([]Object, time.Duration, error) {
 	return e.QueryTimedCtx(context.Background(), q, datasets)
 }
@@ -239,16 +271,49 @@ func (e *Explorer) QueryTimedCtx(ctx context.Context, q Box, datasets []DatasetI
 	return objs, e.dev.Clock() - start, nil
 }
 
-// Clock returns total simulated time spent since the session started.
+// Clock returns total simulated time spent since the session started (or
+// the last ResetClock). On a multi-channel or multi-device topology this is
+// the critical path — the busiest channel of the busiest device plus shared
+// time — i.e. the time the workload needs when every channel overlaps
+// perfectly; with the default 1x1 topology it is the exact serial sum.
 func (e *Explorer) Clock() time.Duration { return e.dev.Clock() }
+
+// ResetClock zeroes the simulated clock across every device and channel.
+// Measurement harnesses call it after converging the layout so a measured
+// phase starts from zero — on a multi-channel topology, clock *deltas*
+// across an imbalanced warm-up phase under-report (the busiest channel
+// shadows later work on the others), so measure from a reset, not a delta.
+// Must not be called concurrently with in-flight queries whose timings
+// matter.
+func (e *Explorer) ResetClock() { e.dev.ResetClock() }
 
 // SetRealTimeScale changes the real-time emulation scale at runtime (see
 // Options.RealTimeScale); 0 turns emulation off. Benchmarks use it to
 // converge an Explorer instantly and then measure serving wall time.
 func (e *Explorer) SetRealTimeScale(scale float64) { e.dev.SetRealTimeScale(scale) }
 
-// DiskStats returns the simulated device counters.
+// DiskStats returns the simulated device counters, summed across all
+// member devices of the storage topology.
 func (e *Explorer) DiskStats() DiskStats { return e.dev.Stats() }
+
+// Topology reports the storage layout: device count, channels per device
+// and the placement policy in effect.
+func (e *Explorer) Topology() Topology {
+	return Topology{
+		Devices:   e.dev.NumDevices(),
+		Channels:  e.dev.NumChannels(),
+		Placement: e.dev.PlacementName(),
+	}
+}
+
+// DeviceStats returns per-member-device counters (one entry per device;
+// a single-device Explorer returns one entry equal to DiskStats).
+func (e *Explorer) DeviceStats() []DiskStats { return e.dev.DeviceStats() }
+
+// ChannelStats returns per-device, per-channel counters: busy platter time
+// and the seek/sequential split of each channel, the utilization breakdown
+// the serving benchmarks report.
+func (e *Explorer) ChannelStats() [][]ChannelStats { return e.dev.DeviceChannelStats() }
 
 // Metrics returns the engine's internal counters (refinements, merges,
 // merge-file serves, ...).

@@ -280,3 +280,73 @@ func TestPublicOracleAgreement(t *testing.T) {
 		}
 	}
 }
+
+// replayWorkload runs the same serial workload through an Explorer with the
+// given storage topology and returns its aggregate disk stats.
+func replayWorkload(t *testing.T, opts Options) DiskStats {
+	t.Helper()
+	ex, err := NewExplorer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, objs := range testData(4, 1500, 21) {
+		if err := ex.AddDataset(DatasetID(i), objs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, err := GenerateWorkload(WorkloadConfig{
+		Seed: 17, NumQueries: 60, NumDatasets: 4, DatasetsPerQuery: 3,
+		QueryVolumeFrac: 2e-4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range w.Queries {
+		if _, err := ex.Query(q.Range, q.Datasets); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ex.DiskStats()
+}
+
+// TestDeviceArrayStatsConservation pins the invariant that striping moves
+// I/O between devices but never changes how much I/O the engine performs: a
+// serial workload replayed on a single device and on a 2x2 array produces
+// identical volume counters (reads, writes, bytes, cache hits — the cache
+// is ample on both sides, so hit patterns match too). Seek counts are
+// excluded by design: they are exactly what the topology is supposed to
+// change.
+func TestDeviceArrayStatsConservation(t *testing.T) {
+	single := replayWorkload(t, Options{CachePages: 8192})
+	for name, opts := range map[string]Options{
+		"affinity":   {CachePages: 8192, Devices: 2, Channels: 2},
+		"roundrobin": {CachePages: 8192, Devices: 2, Channels: 2, Placement: RoundRobinPlacement()},
+	} {
+		arr := replayWorkload(t, opts)
+		if arr.PageReads != single.PageReads || arr.PageWrites != single.PageWrites ||
+			arr.BytesRead != single.BytesRead || arr.BytesWritten != single.BytesWritten ||
+			arr.CacheHits != single.CacheHits {
+			t.Errorf("%s: array stats %+v, single-device %+v — I/O volume must be invariant under placement",
+				name, arr, single)
+		}
+	}
+}
+
+// TestTopologyDefaults checks the single-device topology surface.
+func TestTopologyDefaults(t *testing.T) {
+	ex, err := NewExplorer(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := ex.Topology()
+	if topo.Devices != 1 || topo.Channels != 1 || topo.Placement != "single" {
+		t.Fatalf("default Topology() = %+v", topo)
+	}
+	if ds := ex.DeviceStats(); len(ds) != 1 || ds[0] != ex.DiskStats() {
+		t.Fatalf("single-device DeviceStats = %+v, DiskStats %+v", ds, ex.DiskStats())
+	}
+	cs := ex.ChannelStats()
+	if len(cs) != 1 || len(cs[0]) != 1 {
+		t.Fatalf("default ChannelStats shape = %dx?, want 1x1", len(cs))
+	}
+}

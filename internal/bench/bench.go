@@ -71,6 +71,15 @@ type Config struct {
 	// full scale, found by a parameter sweep; harness default 6, found by
 	// the same sweep at harness scale — see EXPERIMENTS.md).
 	GridCells int
+	// Devices is the number of simulated member devices files stripe
+	// across (0 or 1 = a single device, the original setup).
+	Devices int
+	// Channels is the number of independent I/O channels (platter heads)
+	// per device (0 or 1 = the original single-head model).
+	Channels int
+	// Placement selects the striping policy for Devices > 1: "affinity"
+	// (default; dataset files co-locate) or "roundrobin".
+	Placement string
 	// GridMemBudgetObjects caps the Grid build's in-memory buffer,
 	// modelling the paper's 1 GB memory limit: cells fragment into
 	// multiple runs across flushes. Default: 50% of one dataset, the
@@ -132,10 +141,37 @@ func NewEnvWithData(cfg Config, datasets [][]object.Object) *Env {
 // Config returns the environment's configuration.
 func (e *Env) Config() Config { return e.cfg }
 
-// Deploy writes the datasets as raw files onto a fresh device and resets
-// the clock, modelling data that already sits on disk.
-func (e *Env) Deploy() (*simdisk.Device, []*rawfile.Raw, error) {
-	dev := simdisk.NewDevice(e.cfg.Cost, e.cfg.CachePages)
+// PlacementByName resolves a placement-policy name ("", "affinity",
+// "roundrobin") to a fresh policy instance, defaulting to affinity.
+func PlacementByName(name string) (simdisk.PlacementPolicy, error) {
+	switch name {
+	case "", "affinity":
+		return simdisk.GroupAffinity(), nil
+	case "roundrobin":
+		return simdisk.RoundRobin(), nil
+	}
+	return nil, fmt.Errorf("bench: unknown placement policy %q (want affinity or roundrobin)", name)
+}
+
+// NewStorage builds the storage topology cfg describes via
+// simdisk.NewStorage, resolving a fresh placement policy per call so
+// round-robin runs are reproducible.
+func NewStorage(cfg Config) (simdisk.Storage, error) {
+	policy, err := PlacementByName(cfg.Placement)
+	if err != nil {
+		return nil, err
+	}
+	return simdisk.NewStorage(cfg.Cost, cfg.CachePages, cfg.Devices, cfg.Channels, policy), nil
+}
+
+// Deploy writes the datasets as raw files onto fresh storage (per the
+// configured device/channel topology) and resets the clock, modelling data
+// that already sits on disk.
+func (e *Env) Deploy() (simdisk.Storage, []*rawfile.Raw, error) {
+	dev, err := NewStorage(e.cfg)
+	if err != nil {
+		return nil, nil, err
+	}
 	raws := make([]*rawfile.Raw, len(e.datasets))
 	for i, objs := range e.datasets {
 		raw, err := rawfile.Write(dev, fmt.Sprintf("ds%d.raw", i), object.DatasetID(i), objs)
@@ -151,7 +187,7 @@ func (e *Env) Deploy() (*simdisk.Device, []*rawfile.Raw, error) {
 }
 
 // NewEngine constructs the requested engine over the deployed raw files.
-func (e *Env) NewEngine(kind EngineKind, dev *simdisk.Device, raws []*rawfile.Raw) (engine.Engine, error) {
+func (e *Env) NewEngine(kind EngineKind, dev simdisk.Storage, raws []*rawfile.Raw) (engine.Engine, error) {
 	switch kind {
 	case KindOdyssey:
 		cfg := e.cfg.Odyssey

@@ -23,8 +23,20 @@ type TrajectoryPoint struct {
 	// QueriesPerSecond is wall-clock throughput.
 	QueriesPerSecond float64 `json:"queries_per_second"`
 	// SpeedupVsSerial is wall-clock throughput relative to the serial
-	// baseline of the same run (1.0 for the baseline itself).
-	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	// baseline of the same run (1.0 for the baseline itself; omitted for
+	// series that have no serial baseline, e.g. the all-pooled
+	// channel-scaling sweep).
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+	// Devices and Channels record the storage topology of the point (both
+	// omitted for the original single-device single-channel series).
+	Devices  int `json:"devices,omitempty"`
+	Channels int `json:"channels,omitempty"`
+	// SimSpeedupVsBase and WallSpeedupVsBase compare this point against the
+	// series' single-channel single-device point *at the same worker
+	// count*: how much the topology alone shrinks simulated time and wall
+	// time (0 when the series has no topology baseline).
+	SimSpeedupVsBase  float64 `json:"sim_speedup_vs_base,omitempty"`
+	WallSpeedupVsBase float64 `json:"wall_speedup_vs_base,omitempty"`
 }
 
 // NewTrajectoryPoint derives the throughput fields from raw measurements.

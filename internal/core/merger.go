@@ -138,8 +138,15 @@ type MergerConfig struct {
 // parallel readers.
 type Merger struct {
 	cfg   MergerConfig
-	dev   *simdisk.Device
+	dev   simdisk.Storage
 	files map[ComboKey]*MergeFile
+
+	// PlaceGroup, when non-nil, names the placement affinity group for a
+	// new merge file from its member datasets. The engine sets it to the
+	// hottest member's dataset group, so on a device array a merge file
+	// co-locates with the data it is most often read alongside. Nil places
+	// merge files with no affinity (the policy falls back to name hashing).
+	PlaceGroup func(members []object.DatasetID) string
 
 	// accMu guards the accounting fields mutated under the engine's shared
 	// (read) lock: tick, every MergeFile.lastUsed, segmentsRead,
@@ -175,7 +182,7 @@ type segRef struct {
 }
 
 // NewMerger returns an empty merger.
-func NewMerger(dev *simdisk.Device, cfg MergerConfig) *Merger {
+func NewMerger(dev simdisk.Storage, cfg MergerConfig) *Merger {
 	if cfg.MergeThreshold <= 0 {
 		cfg.MergeThreshold = 2
 	}
@@ -379,11 +386,15 @@ func (m *Merger) newMergeFile(key ComboKey, datasets []object.DatasetID) *MergeF
 	for _, ds := range members {
 		memberOf[ds] = true
 	}
+	group := ""
+	if m.PlaceGroup != nil {
+		group = m.PlaceGroup(members)
+	}
 	mf := &MergeFile{
 		combo:    key,
 		members:  members,
 		memberOf: memberOf,
-		file:     pagefile.Create(m.dev, "merge:"+string(key)),
+		file:     pagefile.CreateInGroup(m.dev, "merge:"+string(key), group),
 		entries:  make(map[octree.Key]map[object.DatasetID]segment),
 	}
 	m.files[key] = mf

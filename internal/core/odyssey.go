@@ -39,7 +39,10 @@ func DefaultConfig() Config {
 // adaptive analogue of the paper's indexing/querying split for static
 // engines (Figure 4's stacked bars). Under concurrent queries the phases
 // are attributed from shared-clock deltas, so overlapping queries can bleed
-// into each other's buckets; the total remains exact.
+// into each other's buckets; the total remains exact on the default
+// single-channel topology. On multi-channel or multi-device storage the
+// clock is a critical-path max, so phase deltas under-count work shadowed
+// by a busier channel — treat PhaseTimes as single-channel diagnostics.
 type PhaseTimes struct {
 	// LevelZeroBuild is the in-situ first-touch partitioning of raw files.
 	LevelZeroBuild time.Duration
@@ -97,7 +100,7 @@ type Metrics struct {
 // nested during queries and are taken in sorted dataset order by the merge
 // step.
 type Odyssey struct {
-	dev    *simdisk.Device
+	dev    simdisk.Storage
 	cfg    Config
 	bounds geom.Box
 
@@ -128,11 +131,14 @@ type Odyssey struct {
 	partsFromMerge int
 	relationCounts map[Relation]int
 	phases         PhaseTimes
+	// dsQueries counts how often each dataset appeared in a query — the
+	// per-dataset heat the merge-file placement group is derived from.
+	dsQueries map[object.DatasetID]int
 }
 
 // New creates the engine over the given raw files. Nothing is indexed until
 // queries arrive.
-func New(dev *simdisk.Device, raws []*rawfile.Raw, bounds geom.Box, cfg Config) (*Odyssey, error) {
+func New(dev simdisk.Storage, raws []*rawfile.Raw, bounds geom.Box, cfg Config) (*Odyssey, error) {
 	trees := make(map[object.DatasetID]*octree.Tree, len(raws))
 	treeMu := make(map[object.DatasetID]*sync.RWMutex, len(raws))
 	for _, raw := range raws {
@@ -146,7 +152,7 @@ func New(dev *simdisk.Device, raws []*rawfile.Raw, bounds geom.Box, cfg Config) 
 		trees[raw.Dataset()] = tree
 		treeMu[raw.Dataset()] = new(sync.RWMutex)
 	}
-	return &Odyssey{
+	o := &Odyssey{
 		dev:            dev,
 		cfg:            cfg,
 		bounds:         bounds,
@@ -156,7 +162,30 @@ func New(dev *simdisk.Device, raws []*rawfile.Raw, bounds geom.Box, cfg Config) 
 		stats:          NewCollector(),
 		merger:         NewMerger(dev, cfg.Merger),
 		relationCounts: make(map[Relation]int),
-	}, nil
+		dsQueries:      make(map[object.DatasetID]int),
+	}
+	// Merge files co-locate with their hottest member dataset by default:
+	// a superset/subset-routed query most often reads the merge file next
+	// to that dataset's tree, so placing them together saves cross-device
+	// head movement on an array.
+	o.merger.PlaceGroup = func(members []object.DatasetID) string {
+		return rawfile.GroupName(o.hottestMember(members))
+	}
+	return o, nil
+}
+
+// hottestMember returns the member dataset queried most often so far (ties
+// resolve to the lowest id; members must be non-empty and sorted).
+func (o *Odyssey) hottestMember(members []object.DatasetID) object.DatasetID {
+	o.statsMu.Lock()
+	defer o.statsMu.Unlock()
+	best, bestN := members[0], -1
+	for _, ds := range members {
+		if n := o.dsQueries[ds]; n > bestN {
+			best, bestN = ds, n
+		}
+	}
+	return best
 }
 
 // futileMark snapshots the state under which a merge attempt appended
@@ -360,6 +389,9 @@ func (o *Odyssey) QueryCtx(ctx context.Context, q geom.Box, datasets []object.Da
 
 	o.statsMu.Lock()
 	o.queries++
+	for _, ds := range ordered {
+		o.dsQueries[ds]++
+	}
 	count := o.stats.RecordQuery(key)
 	o.statsMu.Unlock()
 

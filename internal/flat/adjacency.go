@@ -38,14 +38,14 @@ var ErrAdjCorrupt = errors.New("flat: corrupt adjacency record")
 // records fit per page and crawls of nearby leaves (consecutive in STR
 // order) usually touch a single adjacency page.
 type adjacencyStore struct {
-	dev  *simdisk.Device
+	dev  simdisk.Storage
 	file simdisk.FileID
 	locs []adjLoc
 }
 
 // buildAdjacency writes the neighbor lists to a new device file with
 // sequential appends.
-func buildAdjacency(dev *simdisk.Device, name string, lists [][]uint32) (*adjacencyStore, error) {
+func buildAdjacency(dev simdisk.Storage, name string, lists [][]uint32) (*adjacencyStore, error) {
 	s := &adjacencyStore{
 		dev:  dev,
 		file: dev.CreateFile(name),

@@ -78,7 +78,7 @@ type leafMeta struct {
 // Index is one FLAT index over a set of objects.
 type Index struct {
 	cfg    Config
-	dev    *simdisk.Device
+	dev    simdisk.Storage
 	file   simdisk.FileID // dense leaf pages
 	leaves []leafMeta
 	adj    *adjacencyStore
@@ -93,7 +93,7 @@ type Index struct {
 
 // BuildIndex constructs a FLAT index over objs (reordered in place): STR
 // sort (charged), dense leaf pages, neighborhood graph, seed index.
-func BuildIndex(dev *simdisk.Device, name string, objs []object.Object, cfg Config) (*Index, error) {
+func BuildIndex(dev simdisk.Storage, name string, objs []object.Object, cfg Config) (*Index, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err

@@ -30,14 +30,14 @@ func readAll(raws []*rawfile.Raw) ([]object.Object, error) {
 
 // AllInOne is the FLAT-Ain1 strategy: one FLAT index over all datasets.
 type AllInOne struct {
-	dev  *simdisk.Device
+	dev  simdisk.Storage
 	raws []*rawfile.Raw
 	cfg  Config
 	idx  *Index
 }
 
 // NewAllInOne creates the unbuilt engine.
-func NewAllInOne(dev *simdisk.Device, raws []*rawfile.Raw, cfg Config) *AllInOne {
+func NewAllInOne(dev simdisk.Storage, raws []*rawfile.Raw, cfg Config) *AllInOne {
 	return &AllInOne{dev: dev, raws: raws, cfg: cfg}
 }
 
@@ -78,14 +78,14 @@ func (e *AllInOne) Index() *Index { return e.idx }
 
 // OneForEach is the FLAT-1fE strategy: one FLAT index per dataset.
 type OneForEach struct {
-	dev     *simdisk.Device
+	dev     simdisk.Storage
 	raws    map[object.DatasetID]*rawfile.Raw
 	cfg     Config
 	indexes map[object.DatasetID]*Index
 }
 
 // NewOneForEach creates the unbuilt engine.
-func NewOneForEach(dev *simdisk.Device, raws []*rawfile.Raw, cfg Config) *OneForEach {
+func NewOneForEach(dev simdisk.Storage, raws []*rawfile.Raw, cfg Config) *OneForEach {
 	m := make(map[object.DatasetID]*rawfile.Raw, len(raws))
 	for _, r := range raws {
 		m[r.Dataset()] = r

@@ -65,7 +65,7 @@ type Index struct {
 
 // NewIndex creates an unbuilt grid over the given raw files (one for the
 // one-for-each strategy, all of them for all-in-one).
-func NewIndex(dev *simdisk.Device, raws []*rawfile.Raw, bounds geom.Box, cfg Config) (*Index, error) {
+func NewIndex(dev simdisk.Storage, raws []*rawfile.Raw, bounds geom.Box, cfg Config) (*Index, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err

@@ -16,7 +16,7 @@ type OneForEach struct {
 }
 
 // NewOneForEach creates unbuilt per-dataset grids.
-func NewOneForEach(dev *simdisk.Device, raws []*rawfile.Raw, bounds geom.Box, cfg Config) (*OneForEach, error) {
+func NewOneForEach(dev simdisk.Storage, raws []*rawfile.Raw, bounds geom.Box, cfg Config) (*OneForEach, error) {
 	m := make(map[object.DatasetID]*Index, len(raws))
 	for _, raw := range raws {
 		idx, err := NewIndex(dev, []*rawfile.Raw{raw}, bounds, cfg)
@@ -65,7 +65,7 @@ type AllInOne struct {
 }
 
 // NewAllInOne creates an unbuilt combined grid.
-func NewAllInOne(dev *simdisk.Device, raws []*rawfile.Raw, bounds geom.Box, cfg Config) (*AllInOne, error) {
+func NewAllInOne(dev simdisk.Storage, raws []*rawfile.Raw, bounds geom.Box, cfg Config) (*AllInOne, error) {
 	idx, err := NewIndex(dev, raws, bounds, cfg)
 	if err != nil {
 		return nil, err

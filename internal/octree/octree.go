@@ -147,8 +147,10 @@ type Tree struct {
 
 // New creates an unbuilt tree for raw over the shared exploration volume
 // bounds. Storage pages are allocated on dev in a file named after the raw
-// file. No I/O happens until the first query (EnsureBuilt).
-func New(dev *simdisk.Device, raw *rawfile.Raw, bounds geom.Box, cfg Config) (*Tree, error) {
+// file, placed under the dataset's affinity group so tree and raw file
+// co-locate on a device array. No I/O happens until the first query
+// (EnsureBuilt).
+func New(dev simdisk.Storage, raw *rawfile.Raw, bounds geom.Box, cfg Config) (*Tree, error) {
 	cfg, k, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -161,7 +163,7 @@ func New(dev *simdisk.Device, raw *rawfile.Raw, bounds geom.Box, cfg Config) (*T
 		k:      k,
 		bounds: bounds,
 		raw:    raw,
-		file:   pagefile.Create(dev, raw.Name()+".octree"),
+		file:   pagefile.CreateInGroup(dev, raw.Name()+".octree", rawfile.GroupName(raw.Dataset())),
 	}, nil
 }
 

@@ -32,19 +32,27 @@ func Pages(runs []Run) int64 {
 	return n
 }
 
-// File stores object pages on a simulated device.
+// File stores object pages on simulated storage (a single device or a
+// device array).
 type File struct {
-	dev *simdisk.Device
+	dev simdisk.Storage
 	id  simdisk.FileID
 }
 
-// Create allocates a new empty page file on dev.
-func Create(dev *simdisk.Device, name string) *File {
-	return &File{dev: dev, id: dev.CreateFile(name)}
+// Create allocates a new empty page file on dev with no placement affinity.
+func Create(dev simdisk.Storage, name string) *File {
+	return CreateInGroup(dev, name, "")
 }
 
-// Device returns the underlying device.
-func (f *File) Device() *simdisk.Device { return f.dev }
+// CreateInGroup allocates a new empty page file with an affinity group hint:
+// on a DeviceArray the placement policy can co-locate files of one group on
+// one member device; on a single Device the hint is ignored.
+func CreateInGroup(dev simdisk.Storage, name, group string) *File {
+	return &File{dev: dev, id: dev.CreateFileInGroup(name, group)}
+}
+
+// Device returns the underlying storage.
+func (f *File) Device() simdisk.Storage { return f.dev }
 
 // ID returns the device file handle.
 func (f *File) ID() simdisk.FileID { return f.id }

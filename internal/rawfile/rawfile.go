@@ -20,6 +20,13 @@ import (
 // ErrClosed is returned for operations on a deleted raw file.
 var ErrClosed = errors.New("rawfile: file deleted")
 
+// GroupName is the placement affinity group of a dataset's files: every
+// file derived from the dataset (raw, octree) created under this group
+// co-locates on one member of a device array.
+func GroupName(dataset object.DatasetID) string {
+	return fmt.Sprintf("ds%d", dataset)
+}
+
 // Raw is one raw dataset file on the simulated disk.
 type Raw struct {
 	name    string
@@ -35,9 +42,11 @@ type Raw struct {
 // device clock; callers that model pre-existing data (the usual case — the
 // paper's datasets already sit on disk) should ResetClock afterwards.
 // The dataset's bounding box is recorded for engines that need the indexed
-// space (it would be dataset metadata in a real deployment).
-func Write(dev *simdisk.Device, name string, dataset object.DatasetID, objs []object.Object) (*Raw, error) {
-	f := pagefile.Create(dev, name)
+// space (it would be dataset metadata in a real deployment). On a device
+// array the file is placed under the dataset's affinity group, so the raw
+// file and the octree built over it land on the same member device.
+func Write(dev simdisk.Storage, name string, dataset object.DatasetID, objs []object.Object) (*Raw, error) {
+	f := pagefile.CreateInGroup(dev, name, GroupName(dataset))
 	run, err := f.AppendObjects(objs)
 	if err != nil {
 		return nil, fmt.Errorf("rawfile %q: %w", name, err)

@@ -52,7 +52,7 @@ func (c Config) withDefaults() (Config, error) {
 // Tree is a bulk-loaded R-tree whose leaf and node pages live on the
 // simulated disk.
 type Tree struct {
-	dev      *simdisk.Device
+	dev      simdisk.Storage
 	file     simdisk.FileID
 	rootPage int64
 	height   int // number of node levels above the leaves (0 = empty tree)
@@ -65,7 +65,7 @@ type Tree struct {
 // caller has already paid for reading objs (e.g. raw-file scans); Build
 // charges the external sort passes plus sequential writes of all leaf and
 // node pages.
-func Build(dev *simdisk.Device, name string, objs []object.Object, cfg Config) (*Tree, error) {
+func Build(dev simdisk.Storage, name string, objs []object.Object, cfg Config) (*Tree, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err

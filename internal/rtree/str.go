@@ -54,7 +54,7 @@ func min(a, b int) int {
 // that is deleted afterwards. STR sorts the data once per dimension, so the
 // engines charge passes = 3. In-memory ordering itself is free, matching
 // the paper's disk-bound methodology. FLAT shares this charge.
-func ChargeExternalSort(dev *simdisk.Device, pages int64, passes int) error {
+func ChargeExternalSort(dev simdisk.Storage, pages int64, passes int) error {
 	if pages == 0 || passes == 0 {
 		return nil
 	}

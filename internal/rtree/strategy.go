@@ -30,14 +30,14 @@ func readAll(raws []*rawfile.Raw) ([]object.Object, error) {
 
 // AllInOne is the RTree-Ain1 strategy: one tree over all datasets.
 type AllInOne struct {
-	dev  *simdisk.Device
+	dev  simdisk.Storage
 	raws []*rawfile.Raw
 	cfg  Config
 	tree *Tree
 }
 
 // NewAllInOne creates the unbuilt engine.
-func NewAllInOne(dev *simdisk.Device, raws []*rawfile.Raw, cfg Config) *AllInOne {
+func NewAllInOne(dev simdisk.Storage, raws []*rawfile.Raw, cfg Config) *AllInOne {
 	return &AllInOne{dev: dev, raws: raws, cfg: cfg}
 }
 
@@ -80,14 +80,14 @@ func (e *AllInOne) Tree() *Tree { return e.tree }
 // OneForEach is the RTree-1fE strategy: one tree per dataset; queries probe
 // only the requested datasets' trees.
 type OneForEach struct {
-	dev   *simdisk.Device
+	dev   simdisk.Storage
 	raws  map[object.DatasetID]*rawfile.Raw
 	cfg   Config
 	trees map[object.DatasetID]*Tree
 }
 
 // NewOneForEach creates the unbuilt engine.
-func NewOneForEach(dev *simdisk.Device, raws []*rawfile.Raw, cfg Config) *OneForEach {
+func NewOneForEach(dev simdisk.Storage, raws []*rawfile.Raw, cfg Config) *OneForEach {
 	m := make(map[object.DatasetID]*rawfile.Raw, len(raws))
 	for _, r := range raws {
 		m[r.Dataset()] = r

@@ -1,0 +1,314 @@
+package simdisk
+
+import (
+	"context"
+	"hash/fnv"
+	"sync/atomic"
+	"time"
+)
+
+// PlacementPolicy decides which member device of a DeviceArray a new file
+// is created on. group is the caller's affinity hint ("" when none was
+// given) — the storage stack passes "ds<N>" for a dataset's raw and tree
+// files and the hottest member dataset's group for merge files, so an
+// affinity policy keeps the files a query touches together on one device.
+// Implementations must be safe for concurrent use.
+type PlacementPolicy interface {
+	// Place returns the member index in [0, devices) for a new file.
+	Place(name, group string, devices int) int
+	// String names the policy for reports.
+	String() string
+}
+
+// roundRobin cycles through the members file by file, ignoring groups.
+type roundRobin struct{ next atomic.Uint32 }
+
+// RoundRobin returns the placement policy that stripes successive files
+// across successive devices regardless of their affinity group. It spreads
+// load evenly but may split a dataset's raw and tree files apart.
+func RoundRobin() PlacementPolicy { return &roundRobin{} }
+
+func (r *roundRobin) Place(name, group string, devices int) int {
+	return int((r.next.Add(1) - 1) % uint32(devices))
+}
+
+func (r *roundRobin) String() string { return "roundrobin" }
+
+// groupAffinity hashes the affinity group (falling back to the file name)
+// so all files of one group land on the same member.
+type groupAffinity struct{}
+
+// GroupAffinity returns the placement policy that co-locates files sharing
+// an affinity group — a dataset's raw and tree files, and the merge files
+// of the combinations it is the hottest member of — on one device, so one
+// query's sequential runs stay on as few spindles as necessary while
+// different datasets spread across the array.
+func GroupAffinity() PlacementPolicy { return groupAffinity{} }
+
+func (groupAffinity) Place(name, group string, devices int) int {
+	key := group
+	if key == "" {
+		key = name
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(devices))
+}
+
+func (groupAffinity) String() string { return "affinity" }
+
+// DeviceArray stripes files across D member Devices behind the same
+// Storage interface a single Device offers — the paper's evaluation runs on
+// 2x 300 GB SAS disks, and this is that second spindle (and more). Each
+// member keeps its own channels, cache shard-set, clock and counters; the
+// array routes every file operation to the member its placement policy
+// chose at creation time.
+//
+// FileIDs are bijectively encoded as memberLocalID*D + memberIndex, so
+// routing is arithmetic (no shared map on the hot path) and the zero
+// InvalidFile never collides with a live file.
+//
+// Simulated time on the array is the critical path across members: Clock()
+// returns the maximum member clock, each member clock itself being that
+// device's busiest channel plus its shared time. Stats() is the sum over
+// members — placement moves I/O between spindles, it never changes how much
+// I/O happens.
+type DeviceArray struct {
+	members []*Device
+	policy  PlacementPolicy
+}
+
+// NewDeviceArray creates an array of devices member Devices with channels
+// I/O channels each, all sharing one cost model. The cache capacity is
+// split evenly across members so the array's total buffer cache matches a
+// single device of the same capacity. policy nil defaults to GroupAffinity.
+func NewDeviceArray(cost CostModel, cacheCapacity, devices, channels int, policy PlacementPolicy) *DeviceArray {
+	if devices <= 0 {
+		devices = 1
+	}
+	if policy == nil {
+		policy = GroupAffinity()
+	}
+	perMember := cacheCapacity / devices
+	if cacheCapacity > 0 && perMember == 0 {
+		perMember = 1
+	}
+	members := make([]*Device, devices)
+	for i := range members {
+		members[i] = NewDeviceChannels(cost, perMember, channels)
+	}
+	return &DeviceArray{members: members, policy: policy}
+}
+
+// Members exposes the member devices (for tests and reports).
+func (a *DeviceArray) Members() []*Device { return a.members }
+
+// encode maps (member, member-local id) to an array-global FileID.
+func (a *DeviceArray) encode(member int, local FileID) FileID {
+	return FileID(uint32(local)*uint32(len(a.members)) + uint32(member))
+}
+
+// decode splits an array-global FileID back into member and local id. Any
+// id (including InvalidFile) decodes; unknown locals fail in the member
+// with ErrNoSuchFile.
+func (a *DeviceArray) decode(id FileID) (*Device, FileID) {
+	d := uint32(len(a.members))
+	return a.members[uint32(id)%d], FileID(uint32(id) / d)
+}
+
+// CreateFile places a new file via the placement policy (no affinity hint).
+func (a *DeviceArray) CreateFile(name string) FileID {
+	return a.CreateFileInGroup(name, "")
+}
+
+// CreateFileInGroup places a new file via the placement policy with an
+// affinity group hint.
+func (a *DeviceArray) CreateFileInGroup(name, group string) FileID {
+	m := a.policy.Place(name, group, len(a.members))
+	if m < 0 || m >= len(a.members) {
+		m = ((m % len(a.members)) + len(a.members)) % len(a.members)
+	}
+	local := a.members[m].CreateFile(name)
+	return a.encode(m, local)
+}
+
+// MemberOf returns the index of the member device holding id.
+func (a *DeviceArray) MemberOf(id FileID) int {
+	return int(uint32(id) % uint32(len(a.members)))
+}
+
+// DeleteFile removes a file from its member device.
+func (a *DeviceArray) DeleteFile(id FileID) error {
+	dev, local := a.decode(id)
+	return dev.DeleteFile(local)
+}
+
+// FileName returns the debug name a file was created with.
+func (a *DeviceArray) FileName(id FileID) (string, error) {
+	dev, local := a.decode(id)
+	return dev.FileName(local)
+}
+
+// NumPages returns the file length in pages.
+func (a *DeviceArray) NumPages(id FileID) (int64, error) {
+	dev, local := a.decode(id)
+	return dev.NumPages(local)
+}
+
+// TotalPages sums disk usage across members.
+func (a *DeviceArray) TotalPages() int64 {
+	var total int64
+	for _, m := range a.members {
+		total += m.TotalPages()
+	}
+	return total
+}
+
+// ReadPage reads one page on the file's member device.
+func (a *DeviceArray) ReadPage(id FileID, idx int64, buf []byte) error {
+	dev, local := a.decode(id)
+	return dev.ReadPage(local, idx, buf)
+}
+
+// ReadPageCtx is ReadPage with cancellation.
+func (a *DeviceArray) ReadPageCtx(ctx context.Context, id FileID, idx int64, buf []byte) error {
+	dev, local := a.decode(id)
+	return dev.ReadPageCtx(ctx, local, idx, buf)
+}
+
+// WritePage overwrites one page on the file's member device.
+func (a *DeviceArray) WritePage(id FileID, idx int64, data []byte) error {
+	dev, local := a.decode(id)
+	return dev.WritePage(local, idx, data)
+}
+
+// AppendPage appends one page on the file's member device.
+func (a *DeviceArray) AppendPage(id FileID, data []byte) (int64, error) {
+	dev, local := a.decode(id)
+	return dev.AppendPage(local, data)
+}
+
+// ReadRun reads n consecutive pages on the file's member device.
+func (a *DeviceArray) ReadRun(id FileID, start, n int64) ([]byte, error) {
+	dev, local := a.decode(id)
+	return dev.ReadRun(local, start, n)
+}
+
+// ReadRunCtx is ReadRun with cancellation.
+func (a *DeviceArray) ReadRunCtx(ctx context.Context, id FileID, start, n int64) ([]byte, error) {
+	dev, local := a.decode(id)
+	return dev.ReadRunCtx(ctx, local, start, n)
+}
+
+// Clock returns the critical-path simulated time: the maximum member clock.
+func (a *DeviceArray) Clock() time.Duration {
+	var max time.Duration
+	for _, m := range a.members {
+		if c := m.Clock(); c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// ResetClock zeroes every member's clock.
+func (a *DeviceArray) ResetClock() {
+	for _, m := range a.members {
+		m.ResetClock()
+	}
+}
+
+// AdvanceClock charges a CPU-side cost to every member, so the array clock
+// (a max) advances by dt exactly like a single device's would.
+func (a *DeviceArray) AdvanceClock(dt time.Duration) {
+	if dt <= 0 {
+		return
+	}
+	for _, m := range a.members {
+		m.shared.Add(int64(dt))
+	}
+	// Emulate once, not per member: the CPU stall is one wall-clock wait.
+	a.members[0].emulate(dt)
+}
+
+// SetRealTimeScale fans the emulation scale out to every member.
+func (a *DeviceArray) SetRealTimeScale(scale float64) {
+	for _, m := range a.members {
+		m.SetRealTimeScale(scale)
+	}
+}
+
+// RealTimeScale returns the members' common emulation scale.
+func (a *DeviceArray) RealTimeScale() float64 { return a.members[0].RealTimeScale() }
+
+// Stats sums the member counters: total I/O is invariant under placement.
+func (a *DeviceArray) Stats() Stats {
+	var s Stats
+	for _, m := range a.members {
+		s.Add(m.Stats())
+	}
+	return s
+}
+
+// ResetStats zeroes every member's counters.
+func (a *DeviceArray) ResetStats() {
+	for _, m := range a.members {
+		m.ResetStats()
+	}
+}
+
+// DropCaches fans out to every member device, emptying every buffer cache
+// and forgetting every channel's head position on every member.
+func (a *DeviceArray) DropCaches() {
+	for _, m := range a.members {
+		m.DropCaches()
+	}
+}
+
+// CachedPages sums cached pages across members.
+func (a *DeviceArray) CachedPages() int {
+	n := 0
+	for _, m := range a.members {
+		n += m.CachedPages()
+	}
+	return n
+}
+
+// SetCacheCapacity resizes the array's total cache, split evenly across
+// members.
+func (a *DeviceArray) SetCacheCapacity(pages int) {
+	perMember := pages / len(a.members)
+	if pages > 0 && perMember == 0 {
+		perMember = 1
+	}
+	for _, m := range a.members {
+		m.SetCacheCapacity(perMember)
+	}
+}
+
+// NumDevices returns the member count D.
+func (a *DeviceArray) NumDevices() int { return len(a.members) }
+
+// NumChannels returns the per-member channel count C.
+func (a *DeviceArray) NumChannels() int { return a.members[0].NumChannels() }
+
+// PlacementName names the placement policy.
+func (a *DeviceArray) PlacementName() string { return a.policy.String() }
+
+// DeviceStats snapshots each member's counters.
+func (a *DeviceArray) DeviceStats() []Stats {
+	out := make([]Stats, len(a.members))
+	for i, m := range a.members {
+		out[i] = m.Stats()
+	}
+	return out
+}
+
+// DeviceChannelStats snapshots each member's per-channel counters.
+func (a *DeviceArray) DeviceChannelStats() [][]ChannelStats {
+	out := make([][]ChannelStats, len(a.members))
+	for i, m := range a.members {
+		out[i] = m.ChannelStats()
+	}
+	return out
+}

@@ -101,7 +101,7 @@ func (d *Device) ReadRunCtx(ctx context.Context, id FileID, start, n int64) ([]b
 // simulated clock reaches a limit. See WithClockLimit.
 type clockLimitCtx struct {
 	context.Context
-	dev   *Device
+	dev   Clocker
 	limit time.Duration
 }
 
@@ -123,7 +123,7 @@ type clockLimitCtx struct {
 // override, so pass a clock-limited context directly to the query APIs
 // rather than wrapping it further. Use real deadlines for wall-clock
 // control; use WithClockLimit for deterministic simulated budgets.
-func WithClockLimit(parent context.Context, dev *Device, limit time.Duration) context.Context {
+func WithClockLimit(parent context.Context, dev Clocker, limit time.Duration) context.Context {
 	if parent == nil {
 		parent = context.Background()
 	}

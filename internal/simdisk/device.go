@@ -38,6 +38,18 @@ type Stats struct {
 	CanceledOps  int64 // device operations aborted by context cancellation
 }
 
+// ChannelStats snapshots one I/O channel's activity: the platter time it
+// has been busy and its share of the seek/sequential split. Busy is the
+// per-channel component of the simulated clock — on a multi-channel device
+// Clock() reports the busiest channel plus the shared (CPU + cache-hit)
+// time.
+type ChannelStats struct {
+	Channel  int
+	Busy     time.Duration
+	Seeks    int64
+	SeqPages int64
+}
+
 // Add accumulates o into s.
 func (s *Stats) Add(o Stats) {
 	s.PageReads += o.PageReads
@@ -60,9 +72,27 @@ type file struct {
 	deleted bool
 }
 
+// channel is one independent I/O channel of a Device: its own platter head
+// (sequential-run detection) and its own busy-time accumulator. A file lives
+// entirely on one channel (chosen by FileID), so sequential runs within a
+// file are detected exactly as on a single-head disk, while misses on files
+// of different channels neither interleave each other's runs nor serialize
+// on a shared head mutex.
+type channel struct {
+	mu        sync.Mutex // guards the head position below
+	lastFile  FileID
+	lastPage  int64
+	lastValid bool
+
+	busy     atomic.Int64 // platter nanoseconds charged to this channel
+	seeks    atomic.Int64
+	seqPages atomic.Int64
+}
+
 // Device is a simulated disk: a set of page files, a cost model, a buffer
-// cache and a simulated clock. All methods are safe for concurrent use, and
-// the locking is fine-grained so parallel readers scale:
+// cache, one or more I/O channels and a simulated clock. All methods are
+// safe for concurrent use, and the locking is fine-grained so parallel
+// readers scale:
 //
 //   - the files map has its own RWMutex (file create/delete exclusive,
 //     lookups shared);
@@ -70,10 +100,15 @@ type file struct {
 //     appends exclusive per file);
 //   - the buffer cache is a sharded LRU — cache hits contend only on one
 //     shard's mutex, with per-shard hit counters aggregated on read;
-//   - the simulated clock and the byte/page counters are atomics;
-//   - only the platter head position (sequential-run detection) is a single
-//     short mutex, serializing exactly the accesses a single-armed disk
-//     serializes anyway: cache misses.
+//   - the clocks and the byte/page counters are atomics;
+//   - each channel's head position (sequential-run detection) is its own
+//     short mutex, serializing exactly the accesses one platter arm
+//     serializes anyway: the cache misses of that channel's files.
+//
+// Simulated time on a multi-channel device is the critical path under
+// perfect channel overlap: Clock() returns the busiest channel's platter
+// time plus the shared (cache-hit and CPU) time. With one channel this is
+// bit-for-bit the single-accumulator clock of the original model.
 type Device struct {
 	cost CostModel
 
@@ -81,24 +116,17 @@ type Device struct {
 	files map[FileID]*file
 	next  FileID
 
-	clock atomic.Int64 // simulated elapsed nanoseconds
-	cache *shardedCache
+	channels []channel
+	shared   atomic.Int64 // non-platter simulated nanoseconds (cache hits, CPU)
+	cache    *shardedCache
 
 	// device counters (Stats), all atomics; CacheHits lives in the cache's
-	// per-shard counters.
+	// per-shard counters, Seeks/SeqPages in the channels.
 	pageReads    atomic.Int64
 	pageWrites   atomic.Int64
-	seeks        atomic.Int64
-	seqPages     atomic.Int64
 	bytesRead    atomic.Int64
 	bytesWritten atomic.Int64
 	canceledOps  atomic.Int64
-
-	// platterMu guards the head position for sequential-run detection.
-	platterMu sync.Mutex
-	lastFile  FileID
-	lastPage  int64
-	lastValid bool
 
 	// failure injection: pages that return an error on next platter read.
 	// faultsArmed lets the hot path skip the mutex when no faults are set.
@@ -111,19 +139,45 @@ type Device struct {
 	realTime atomic.Uint64
 }
 
-// NewDevice creates a Device with the given cost model and buffer-cache
-// capacity in pages. cacheCapacity <= 0 disables caching entirely.
+// NewDevice creates a single-channel Device with the given cost model and
+// buffer-cache capacity in pages. cacheCapacity <= 0 disables caching
+// entirely.
 func NewDevice(cost CostModel, cacheCapacity int) *Device {
+	return NewDeviceChannels(cost, cacheCapacity, 1)
+}
+
+// NewDeviceChannels creates a Device with channels independent I/O channels
+// (per-channel head position and busy time). channels <= 0 defaults to 1,
+// which reproduces the original single-head cost model exactly.
+func NewDeviceChannels(cost CostModel, cacheCapacity, channels int) *Device {
 	if err := cost.Validate(); err != nil {
 		panic(err)
+	}
+	if channels <= 0 {
+		channels = 1
 	}
 	return &Device{
 		cost:       cost,
 		files:      make(map[FileID]*file),
 		next:       1,
+		channels:   make([]channel, channels),
 		cache:      newShardedCache(cacheCapacity),
 		readFaults: make(map[pageKey]error),
 	}
+}
+
+// channelOf returns the channel serving a file. The assignment is static —
+// a multiplicative hash of the FileID — so a file's sequential runs always
+// meet the same head, while structured allocation patterns (e.g. the
+// raw/tree file pairs datasets allocate, which make every tree file id
+// even) still spread across channels. With one channel this is always
+// channel 0, the original single-head model.
+func (d *Device) channelOf(id FileID) *channel {
+	// Knuth multiplicative hash, mapped to the channel range via its high
+	// bits (a plain modulus would only see the low bits, which structured
+	// id patterns keep biased).
+	h := uint32(id) * 2654435761
+	return &d.channels[(uint64(h)*uint64(len(d.channels)))>>32]
 }
 
 // NewDefaultDevice creates a Device with the paper's SAS cost model and a
@@ -172,11 +226,12 @@ func (d *Device) DeleteFile(id FileID) error {
 	f.deleted = true
 	f.mu.Unlock()
 	d.cache.RemoveFile(id)
-	d.platterMu.Lock()
-	if d.lastValid && d.lastFile == id {
-		d.lastValid = false
+	ch := d.channelOf(id)
+	ch.mu.Lock()
+	if ch.lastValid && ch.lastFile == id {
+		ch.lastValid = false
 	}
-	d.platterMu.Unlock()
+	ch.mu.Unlock()
 	return nil
 }
 
@@ -237,7 +292,7 @@ func (d *Device) readPage(ctx context.Context, id FileID, idx int64, buf []byte)
 	var dt time.Duration
 	if d.cache.Touch(key) {
 		dt = d.cost.CacheHit
-		d.clock.Add(int64(dt))
+		d.shared.Add(int64(dt))
 	} else {
 		dt = d.chargePlatter(key)
 		d.pageReads.Add(1)
@@ -335,23 +390,24 @@ func (d *Device) ReadRun(id FileID, start, n int64) ([]byte, error) {
 	return d.ReadRunCtx(nil, id, start, n)
 }
 
-// chargePlatter advances the simulated clock for one platter access to key,
-// paying a seek unless the access continues the previous one. Only the head
-// position is under the platter mutex; clock and counters are atomics. It
-// returns the charged duration.
+// chargePlatter advances the file's channel clock for one platter access to
+// key, paying a seek unless the access continues that channel's previous
+// one. Only the head position is under the channel mutex; clocks and
+// counters are atomics. It returns the charged duration.
 func (d *Device) chargePlatter(key pageKey) time.Duration {
-	d.platterMu.Lock()
-	sequential := d.lastValid && d.lastFile == key.file && key.page == d.lastPage+1
-	d.lastFile, d.lastPage, d.lastValid = key.file, key.page, true
-	d.platterMu.Unlock()
+	ch := d.channelOf(key.file)
+	ch.mu.Lock()
+	sequential := ch.lastValid && ch.lastFile == key.file && key.page == ch.lastPage+1
+	ch.lastFile, ch.lastPage, ch.lastValid = key.file, key.page, true
+	ch.mu.Unlock()
 	dt := d.cost.Transfer
 	if sequential {
-		d.seqPages.Add(1)
+		ch.seqPages.Add(1)
 	} else {
 		dt += d.cost.Seek
-		d.seeks.Add(1)
+		ch.seeks.Add(1)
 	}
-	d.clock.Add(int64(dt))
+	ch.busy.Add(int64(dt))
 	return dt
 }
 
@@ -369,25 +425,43 @@ func (d *Device) takeFault(key pageKey) error {
 }
 
 // Clock returns the simulated time elapsed since creation or the last
-// ResetClock.
+// ResetClock: the busiest channel's platter time plus the shared (cache-hit
+// and CPU) time. On a single-channel device this is exactly the sum of
+// every charge; with C > 1 it is the critical path under perfect channel
+// overlap — the time the device needs when all channels work in parallel.
+// Wall-clock behaviour under real-time emulation stays honest either way:
+// every operation still sleeps its own full latency, so a serial caller
+// never observes the overlap it does not exploit.
 func (d *Device) Clock() time.Duration {
-	return time.Duration(d.clock.Load())
+	var maxBusy int64
+	for i := range d.channels {
+		if b := d.channels[i].busy.Load(); b > maxBusy {
+			maxBusy = b
+		}
+	}
+	return time.Duration(d.shared.Load() + maxBusy)
 }
 
-// ResetClock zeroes the simulated clock (stats are unaffected).
+// ResetClock zeroes the simulated clock — the shared accumulator and every
+// channel's busy time (stats are unaffected).
 func (d *Device) ResetClock() {
-	d.clock.Store(0)
+	d.shared.Store(0)
+	for i := range d.channels {
+		d.channels[i].busy.Store(0)
+	}
 }
 
 // AdvanceClock adds a CPU-side cost to the simulated clock. Engines use it
 // to charge in-memory processing (e.g. intersection tests) so that CPU-bound
 // phases are not free; the default experiments leave CPU costs at zero,
-// matching the paper's disk-bound setting.
+// matching the paper's disk-bound setting. CPU time is charged to the shared
+// accumulator, never to a channel, so per-channel utilization stays pure
+// platter time.
 func (d *Device) AdvanceClock(dt time.Duration) {
 	if dt <= 0 {
 		return
 	}
-	d.clock.Add(int64(dt))
+	d.shared.Add(int64(dt))
 	d.emulate(dt)
 }
 
@@ -446,40 +520,88 @@ func (d *Device) emulateCtx(ctx context.Context, dt time.Duration) error {
 }
 
 // Stats returns a snapshot of the device counters, aggregating the cache's
-// per-shard hit counters. Under concurrent load the snapshot is a consistent
-// sum of per-counter values, not an instantaneous cross-counter cut.
+// per-shard hit counters and the channels' seek counters. Under concurrent
+// load the snapshot is a consistent sum of per-counter values, not an
+// instantaneous cross-counter cut.
 func (d *Device) Stats() Stats {
-	return Stats{
+	s := Stats{
 		PageReads:    d.pageReads.Load(),
 		PageWrites:   d.pageWrites.Load(),
 		CacheHits:    d.cache.Hits(),
-		Seeks:        d.seeks.Load(),
-		SeqPages:     d.seqPages.Load(),
 		BytesRead:    d.bytesRead.Load(),
 		BytesWritten: d.bytesWritten.Load(),
 		CanceledOps:  d.canceledOps.Load(),
 	}
+	for i := range d.channels {
+		s.Seeks += d.channels[i].seeks.Load()
+		s.SeqPages += d.channels[i].seqPages.Load()
+	}
+	return s
 }
 
-// ResetStats zeroes the device counters.
+// ResetStats zeroes the device counters, including every channel's.
 func (d *Device) ResetStats() {
 	d.pageReads.Store(0)
 	d.pageWrites.Store(0)
-	d.seeks.Store(0)
-	d.seqPages.Store(0)
 	d.bytesRead.Store(0)
 	d.bytesWritten.Store(0)
 	d.canceledOps.Store(0)
+	for i := range d.channels {
+		d.channels[i].seeks.Store(0)
+		d.channels[i].seqPages.Store(0)
+	}
 	d.cache.ResetHits()
 }
 
-// DropCaches empties the buffer cache and forgets the head position, exactly
-// like the paper's methodology of overwriting OS caches before each query.
+// DropCaches empties the buffer cache and forgets every channel's head
+// position, exactly like the paper's methodology of overwriting OS caches
+// before each query: the next read on any channel pays a seek.
 func (d *Device) DropCaches() {
 	d.cache.Clear()
-	d.platterMu.Lock()
-	d.lastValid = false
-	d.platterMu.Unlock()
+	for i := range d.channels {
+		ch := &d.channels[i]
+		ch.mu.Lock()
+		ch.lastValid = false
+		ch.mu.Unlock()
+	}
+}
+
+// NumChannels returns the device's I/O channel count.
+func (d *Device) NumChannels() int { return len(d.channels) }
+
+// ChannelStats snapshots every channel's busy time and seek counters.
+func (d *Device) ChannelStats() []ChannelStats {
+	out := make([]ChannelStats, len(d.channels))
+	for i := range d.channels {
+		ch := &d.channels[i]
+		out[i] = ChannelStats{
+			Channel:  i,
+			Busy:     time.Duration(ch.busy.Load()),
+			Seeks:    ch.seeks.Load(),
+			SeqPages: ch.seqPages.Load(),
+		}
+	}
+	return out
+}
+
+// NumDevices implements Storage: a Device is its own single-member array.
+func (d *Device) NumDevices() int { return 1 }
+
+// PlacementName implements Storage; a single device places nothing.
+func (d *Device) PlacementName() string { return "single" }
+
+// DeviceStats implements Storage: the per-member view of a single device.
+func (d *Device) DeviceStats() []Stats { return []Stats{d.Stats()} }
+
+// DeviceChannelStats implements Storage: per-member, per-channel counters.
+func (d *Device) DeviceChannelStats() [][]ChannelStats {
+	return [][]ChannelStats{d.ChannelStats()}
+}
+
+// CreateFileInGroup implements Storage. On a single device the affinity
+// group is irrelevant; a DeviceArray uses it to co-locate related files.
+func (d *Device) CreateFileInGroup(name, group string) FileID {
+	return d.CreateFile(name)
 }
 
 // CachedPages returns the number of pages currently cached.

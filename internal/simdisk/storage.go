@@ -1,0 +1,76 @@
+package simdisk
+
+import (
+	"context"
+	"time"
+)
+
+// Storage is the device-shaped interface the storage stack (pagefile,
+// rawfile, octree, the engines) works against: either a single *Device or a
+// *DeviceArray striping files across several devices. Everything above this
+// interface is placement-oblivious — the same engine code runs on one
+// single-head SAS disk or on an array of multi-channel devices.
+type Storage interface {
+	// File lifecycle. CreateFileInGroup carries an affinity hint ("" when
+	// the creator has none): a DeviceArray hands it to its placement policy
+	// so a dataset's raw, tree and merge files can co-locate.
+	CreateFile(name string) FileID
+	CreateFileInGroup(name, group string) FileID
+	DeleteFile(id FileID) error
+	FileName(id FileID) (string, error)
+	NumPages(id FileID) (int64, error)
+	TotalPages() int64
+
+	// Page I/O, with and without cancellation.
+	ReadPage(id FileID, idx int64, buf []byte) error
+	ReadPageCtx(ctx context.Context, id FileID, idx int64, buf []byte) error
+	WritePage(id FileID, idx int64, data []byte) error
+	AppendPage(id FileID, data []byte) (int64, error)
+	ReadRun(id FileID, start, n int64) ([]byte, error)
+	ReadRunCtx(ctx context.Context, id FileID, start, n int64) ([]byte, error)
+
+	// Simulated time.
+	Clock() time.Duration
+	ResetClock()
+	AdvanceClock(dt time.Duration)
+	SetRealTimeScale(scale float64)
+	RealTimeScale() float64
+
+	// Counters and cache control.
+	Stats() Stats
+	ResetStats()
+	DropCaches()
+	CachedPages() int
+	SetCacheCapacity(pages int)
+
+	// Topology introspection, for serving-layer reports.
+	NumDevices() int
+	NumChannels() int
+	PlacementName() string
+	DeviceStats() []Stats
+	DeviceChannelStats() [][]ChannelStats
+}
+
+// NewStorage builds the storage a topology describes: a (possibly
+// multi-channel) single Device when devices <= 1, otherwise a DeviceArray
+// of devices members with channels channels each under the given placement
+// policy (nil defaults to GroupAffinity). This is the one place the
+// topology defaulting lives; the Explorer and the bench harness both build
+// through it.
+func NewStorage(cost CostModel, cachePages, devices, channels int, policy PlacementPolicy) Storage {
+	if devices <= 1 {
+		return NewDeviceChannels(cost, cachePages, channels)
+	}
+	return NewDeviceArray(cost, cachePages, devices, channels, policy)
+}
+
+// Clocker is the minimal clock-reading capability WithClockLimit needs;
+// both *Device and *DeviceArray provide it.
+type Clocker interface {
+	Clock() time.Duration
+}
+
+var (
+	_ Storage = (*Device)(nil)
+	_ Storage = (*DeviceArray)(nil)
+)

@@ -43,6 +43,11 @@ type (
 	CostModel = simdisk.CostModel
 	// DiskStats aggregates simulated-device activity.
 	DiskStats = simdisk.Stats
+	// ChannelStats snapshots one I/O channel's busy time and seek split.
+	ChannelStats = simdisk.ChannelStats
+	// PlacementPolicy decides which member device of a storage array a new
+	// file lands on (see Options.Placement).
+	PlacementPolicy = simdisk.PlacementPolicy
 	// Metrics exposes the engine's internal counters.
 	Metrics = core.Metrics
 	// Query couples a range with the datasets it targets.
@@ -84,4 +89,9 @@ var (
 	DefaultCostModel = simdisk.DefaultCostModel
 	// SSDCostModel returns an SSD-like cost model for sensitivity runs.
 	SSDCostModel = simdisk.SSDCostModel
+	// GroupAffinityPlacement co-locates a dataset's files (and the merge
+	// files of its hottest combinations) on one member device.
+	GroupAffinityPlacement = simdisk.GroupAffinity
+	// RoundRobinPlacement stripes successive files across member devices.
+	RoundRobinPlacement = simdisk.RoundRobin
 )
