@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -63,6 +64,8 @@ func main() {
 		channels   = flag.Int("channels", 1, "independent I/O channels (platter heads) per device")
 		placement  = flag.String("placement", "affinity", "file placement across devices: affinity|roundrobin")
 		jsonPath   = flag.String("json", "", "also write the -parallel serving report (topology, timings, per-channel utilization) as JSON to this file")
+		asyncCmp   = flag.Bool("async", false, "with -parallel: compare synchronous vs asynchronous layout maintenance on the miss-heavy adapting workload (per-query latency percentiles + time-to-convergence)")
+		maintWk    = flag.Int("maintworkers", 2, "maintenance worker pool size for the -async comparison's async mode")
 	)
 	flag.Parse()
 
@@ -127,6 +130,13 @@ func main() {
 		if *queueWait != 0 && *maxInFl == 0 {
 			fatalf("-queuewait needs -maxinflight (there is no slot wait without an in-flight cap)")
 		}
+		if *asyncCmp {
+			if *deadline != 0 || *maxInFl != 0 || *queueWait != 0 {
+				fatalf("-deadline/-maxinflight/-queuewait cannot be combined with -async (the comparison measures raw serving latency)")
+			}
+			runAsyncServing(cfg, wcfg, *parallel, *rtScale, *maintWk, *jsonPath)
+			return
+		}
 		adm := odyssey.AdmissionConfig{
 			MaxInFlight: *maxInFl,
 			Deadline:    *deadline,
@@ -134,6 +144,9 @@ func main() {
 		}
 		runParallelServing(cfg, wcfg, *parallel, *rtScale, adm, *jsonPath)
 		return
+	}
+	if *asyncCmp {
+		fatalf("-async needs -parallel (it compares pooled serving under both maintenance modes)")
 	}
 	if *deadline != 0 || *maxInFl != 0 || *queueWait != 0 {
 		fatalf("-deadline/-maxinflight/-queuewait only apply to the -parallel experiment")
@@ -411,6 +424,252 @@ func runParallelServing(cfg bench.Config, wcfg bench.WorkloadConfig, workers int
 		}
 		fmt.Printf("\n(wrote %s)\n", jsonPath)
 	}
+}
+
+// runAsyncServing compares synchronous (inline) against asynchronous
+// (background) layout maintenance on the miss-heavy adapting workload: both
+// modes serve the SAME cold workload through a pool of the given size on a
+// real-time emulated disk, WITHOUT pre-converging the layout — so the
+// measured pass includes level-0 builds, refinements and merges. In sync
+// mode the unlucky queries pay that maintenance inline; in async mode they
+// answer from the current layout while a background scheduler converges it.
+// After the measured pass, both modes replay the workload until the layout
+// is quiescent (async quiesces the pipeline each pass), yielding
+// time-to-convergence. The report (stdout + optional JSON) carries p50/p95/
+// p99 per-query wall latency, simulated time, convergence wall time and
+// pass count, and the async maintenance ledger.
+func runAsyncServing(cfg bench.Config, wcfg bench.WorkloadConfig, workers int, scale float64, maintWorkers int, jsonPath string) {
+	spec, err := bench.FigureByID("fig4a")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	k := 3
+	if k > cfg.Datasets {
+		k = cfg.Datasets
+	}
+	w, err := workload.Generate(workload.Config{
+		Seed: wcfg.Seed, NumQueries: wcfg.Queries, NumDatasets: cfg.Datasets,
+		DatasetsPerQuery: k, QueryVolumeFrac: wcfg.QueryVolumeFrac,
+		RangeDist: spec.RangeDist, CombDist: spec.CombDist,
+		ClusterCenters: spec.ClusterCenters,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	data := datagen.GenerateDatasets(datagen.Config{
+		Seed: cfg.DataSeed, NumObjects: cfg.ObjectsPerDataset,
+		Bounds: cfg.Bounds, Layout: cfg.DataLayout,
+	}, cfg.Datasets)
+	policy, err := bench.PlacementByName(cfg.Placement)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("async-maintenance comparison: %d datasets x %d objects, %d queries, %d workers, realtime x%g\n",
+		cfg.Datasets, cfg.ObjectsPerDataset, wcfg.Queries, workers, scale)
+	fmt.Printf("storage: %d device(s) x %d channel(s), placement %s; maintenance workers (async mode): %d\n\n",
+		cfg.Devices, cfg.Channels, cfg.Placement, maintWorkers)
+
+	runPass := func(ex *odyssey.Explorer) []time.Duration {
+		d := odyssey.NewDispatcher(ex, workers)
+		out := make(chan odyssey.BatchResult, len(w.Queries))
+		for i, q := range w.Queries {
+			if err := d.Submit(i, q, out); err != nil {
+				fatalf("submit: %v", err)
+			}
+		}
+		d.Close()
+		close(out)
+		lat := make([]time.Duration, 0, len(w.Queries))
+		for r := range out {
+			if r.Err != nil {
+				fatalf("worker %d query %d: %v", r.Worker, r.Index, r.Err)
+			}
+			lat = append(lat, r.Wall)
+		}
+		return lat
+	}
+
+	runMode := func(name string, async bool) asyncModeReport {
+		ex, err := odyssey.NewExplorer(odyssey.Options{
+			Bounds: cfg.Bounds, Cost: cfg.Cost, CachePages: cfg.CachePages,
+			DropCachesPerQuery: true,
+			Devices:            cfg.Devices, Channels: cfg.Channels, Placement: policy,
+			AsyncMaintenance: async, MaintenanceWorkers: maintWorkers,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer func() {
+			if err := ex.Close(); err != nil {
+				fatalf("close: %v", err)
+			}
+		}()
+		for i, objs := range data {
+			if err := ex.AddDataset(odyssey.DatasetID(i), objs); err != nil {
+				fatalf("%v", err)
+			}
+		}
+		ex.SetRealTimeScale(scale)
+
+		// Measured pass: cold layout, the pool serves while the engine
+		// adapts (inline in sync mode, in the background in async mode).
+		t0 := time.Now()
+		sim0 := ex.Clock()
+		lat := runPass(ex)
+		measuredWall := time.Since(t0)
+		// Quiesce before reading the pass's simulated time: in async mode
+		// background maintenance is still charging the clock when the pool
+		// drains, and a mid-flight snapshot would compare sync's complete
+		// total against a racy partial one. After the quiesce, sim_seconds
+		// covers the pass's queries plus all maintenance they scheduled —
+		// the same work sync pays inline.
+		if err := ex.Quiesce(context.Background()); err != nil {
+			fatalf("quiesce: %v", err)
+		}
+		measuredSim := ex.Clock() - sim0
+
+		// Convergence: replay until a full pass leaves the layout alone.
+		// The async pipeline is quiesced each pass, so convergence time
+		// includes its background work — deferred maintenance is not free,
+		// it is just off the query path.
+		const maxPasses = 10
+		converged := false
+		passes := 1
+		for ; passes < maxPasses; passes++ {
+			before := ex.Metrics()
+			runPass(ex)
+			if err := ex.Quiesce(context.Background()); err != nil {
+				fatalf("quiesce: %v", err)
+			}
+			after := ex.Metrics()
+			if after.Refinements == before.Refinements &&
+				after.PartitionsMerged == before.PartitionsMerged &&
+				after.MergeEvictions == before.MergeEvictions {
+				converged = true
+				break
+			}
+		}
+		if !converged {
+			fmt.Printf("      WARNING: layout still adapting after %d passes — convergence figures are a lower bound\n", maxPasses)
+		}
+		convergedWall := time.Since(t0)
+		if err := ex.MaintenanceErr(); err != nil {
+			fatalf("maintenance task failed: %v", err)
+		}
+
+		m := ex.Metrics()
+		rep := asyncModeReport{
+			WallSeconds:            measuredWall.Seconds(),
+			SimSeconds:             measuredSim.Seconds(),
+			LatencyP50:             bench.Percentile(lat, 50).Seconds(),
+			LatencyP95:             bench.Percentile(lat, 95).Seconds(),
+			LatencyP99:             bench.Percentile(lat, 99).Seconds(),
+			Converged:              converged,
+			ConvergenceWallSeconds: convergedWall.Seconds(),
+			ConvergencePasses:      passes,
+			Refinements:            m.Refinements,
+			PartitionsMerged:       m.PartitionsMerged,
+			MergeFiles:             ex.MergeFileCount(),
+		}
+		if async {
+			st := ex.MaintenanceStats()
+			rep.Maintenance = &maintenanceReport{
+				Queued: st.Queued, Coalesced: st.Coalesced, Completed: st.Completed,
+				Failed: st.Failed, Dropped: st.Dropped,
+				RefineTasks: st.RefineTasks, MergeTasks: st.MergeTasks,
+				Refinements: st.Refinements, QueueDepthHighWater: st.QueueDepthHighWater,
+			}
+		}
+		fmt.Printf("%-5s measured pass: %8.3fs wall  %8.3fs simulated  %7.1f q/s\n",
+			name, measuredWall.Seconds(), measuredSim.Seconds(),
+			float64(len(w.Queries))/measuredWall.Seconds())
+		fmt.Printf("      latency: p50 %-10v p95 %-10v p99 %v\n",
+			pct(lat, 50), pct(lat, 95), pct(lat, 99))
+		fmt.Printf("      converged after %d pass(es), %.3fs wall (%d refinements, %d partitions merged, %d merge files)\n",
+			passes, convergedWall.Seconds(), m.Refinements, m.PartitionsMerged, ex.MergeFileCount())
+		if rep.Maintenance != nil {
+			fmt.Printf("      maintenance: %d queued, %d coalesced, %d completed, %d refine / %d merge tasks, queue high-water %d\n",
+				rep.Maintenance.Queued, rep.Maintenance.Coalesced, rep.Maintenance.Completed,
+				rep.Maintenance.RefineTasks, rep.Maintenance.MergeTasks,
+				rep.Maintenance.QueueDepthHighWater)
+		}
+		fmt.Println()
+		return rep
+	}
+
+	syncRep := runMode("sync", false)
+	asyncRep := runMode("async", true)
+
+	report := asyncReport{
+		Experiment: "async-maintenance",
+		Devices:    cfg.Devices, Channels: cfg.Channels, Placement: cfg.Placement,
+		Workers: workers, Queries: len(w.Queries), RealtimeScale: scale,
+		MaintenanceWorkers: maintWorkers,
+		Sync:               syncRep,
+		Async:              asyncRep,
+	}
+	if asyncRep.LatencyP99 > 0 {
+		report.P99Speedup = syncRep.LatencyP99 / asyncRep.LatencyP99
+	}
+	fmt.Printf("p99 latency: sync %v  async %v  (%.2fx)\n",
+		time.Duration(syncRep.LatencyP99*float64(time.Second)).Round(10*time.Microsecond),
+		time.Duration(asyncRep.LatencyP99*float64(time.Second)).Round(10*time.Microsecond),
+		report.P99Speedup)
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("(wrote %s)\n", jsonPath)
+	}
+}
+
+// asyncModeReport is one maintenance mode's measured behaviour.
+type asyncModeReport struct {
+	WallSeconds            float64            `json:"wall_seconds"`
+	SimSeconds             float64            `json:"sim_seconds"`
+	LatencyP50             float64            `json:"latency_p50_seconds"`
+	LatencyP95             float64            `json:"latency_p95_seconds"`
+	LatencyP99             float64            `json:"latency_p99_seconds"`
+	Converged              bool               `json:"converged"`
+	ConvergenceWallSeconds float64            `json:"convergence_wall_seconds"`
+	ConvergencePasses      int                `json:"convergence_passes"`
+	Refinements            int                `json:"refinements"`
+	PartitionsMerged       int                `json:"partitions_merged"`
+	MergeFiles             int                `json:"merge_files"`
+	Maintenance            *maintenanceReport `json:"maintenance,omitempty"`
+}
+
+// maintenanceReport mirrors odyssey.MaintenanceStats with snake_case keys.
+type maintenanceReport struct {
+	Queued              int64 `json:"queued"`
+	Coalesced           int64 `json:"coalesced"`
+	Completed           int64 `json:"completed"`
+	Failed              int64 `json:"failed"`
+	Dropped             int64 `json:"dropped"`
+	RefineTasks         int64 `json:"refine_tasks"`
+	MergeTasks          int64 `json:"merge_tasks"`
+	Refinements         int64 `json:"refinements"`
+	QueueDepthHighWater int   `json:"queue_depth_high_water"`
+}
+
+// asyncReport is the machine-readable form of the -async comparison.
+type asyncReport struct {
+	Experiment         string          `json:"experiment"`
+	Devices            int             `json:"devices"`
+	Channels           int             `json:"channels"`
+	Placement          string          `json:"placement"`
+	Workers            int             `json:"workers"`
+	Queries            int             `json:"queries"`
+	RealtimeScale      float64         `json:"realtime_scale"`
+	MaintenanceWorkers int             `json:"maintenance_workers"`
+	Sync               asyncModeReport `json:"sync"`
+	Async              asyncModeReport `json:"async"`
+	P99Speedup         float64         `json:"p99_speedup_sync_over_async"`
 }
 
 // servingRun is one timed replay of the workload.

@@ -162,6 +162,69 @@ func TestConcurrentQueriesMatchOracleDeviceArray(t *testing.T) {
 	}
 }
 
+// TestConcurrentQueriesMatchOracleAsync is the stale-read regression for
+// the asynchronous maintenance pipeline: the full oracle storm runs with
+// AsyncMaintenance on, so queries race background refinements and staged
+// merges the whole time. Every result must equal the oracle — in
+// particular, a query racing a concurrent merge must never observe a
+// partial merge file (the staged publish is atomic under the layout lock).
+// After Quiesce the converged engine must still answer identically to the
+// synchronous contract (the oracle), and no background task may have
+// failed.
+func TestConcurrentQueriesMatchOracleAsync(t *testing.T) {
+	env := newOracleEnv(t, Options{AsyncMaintenance: true, MaintenanceWorkers: 3}, 3, 2000)
+	defer env.ex.Close()
+	runConcurrentOracle(t, env, 8, 20)
+	if m := env.ex.Metrics(); m.Queries != 8*20 {
+		t.Errorf("engine recorded %d queries, want %d", m.Queries, 8*20)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := env.ex.Quiesce(ctx); err != nil {
+		t.Fatalf("Quiesce: %v", err)
+	}
+	if err := env.ex.MaintenanceErr(); err != nil {
+		t.Fatalf("background maintenance task failed: %v", err)
+	}
+	st := env.ex.MaintenanceStats()
+	if st.Queued == 0 || st.Completed != st.Queued-st.Dropped-st.Failed {
+		t.Errorf("maintenance ledger does not balance: %+v", st)
+	}
+	// Post-quiesce results are identical to synchronous mode: both equal
+	// the oracle on any workload, exercised here across the merge files the
+	// storm built.
+	rng := rand.New(rand.NewSource(515151))
+	for i := 0; i < 16; i++ {
+		if err := env.check(env.randomQuery(rng)); err != nil {
+			t.Fatalf("post-quiesce query %d: %v", i, err)
+		}
+	}
+}
+
+// TestConcurrentQueriesMatchOracleAsyncDeviceArray runs the async storm on
+// a 2x2 storage array: background maintenance I/O lands on per-channel
+// heads across member devices and must never change what a query returns.
+func TestConcurrentQueriesMatchOracleAsyncDeviceArray(t *testing.T) {
+	env := newOracleEnv(t, Options{
+		AsyncMaintenance: true, MaintenanceWorkers: 2,
+		Devices: 2, Channels: 2,
+	}, 3, 2000)
+	defer env.ex.Close()
+	runConcurrentOracle(t, env, 8, 15)
+	if err := env.ex.Quiesce(context.Background()); err != nil {
+		t.Fatalf("Quiesce: %v", err)
+	}
+	if err := env.ex.MaintenanceErr(); err != nil {
+		t.Fatalf("background maintenance task failed: %v", err)
+	}
+	rng := rand.New(rand.NewSource(616161))
+	for i := 0; i < 10; i++ {
+		if err := env.check(env.randomQuery(rng)); err != nil {
+			t.Fatalf("post-quiesce query %d: %v", i, err)
+		}
+	}
+}
+
 // TestConcurrentQueriesSmallCache forces heavy cache-eviction traffic
 // through the sharded LRU while queries race (capacity far below the
 // working set, so shards churn constantly).

@@ -237,6 +237,13 @@ func (d *Dispatcher) AdmissionStats() AdmissionStats {
 // Topology reports the storage layout of the Explorer the pool serves.
 func (d *Dispatcher) Topology() Topology { return d.ex.Topology() }
 
+// Quiesce waits until the served Explorer's background maintenance
+// pipeline has drained (see Explorer.Quiesce). Serving benchmarks call it
+// after Close to include layout convergence in an async run's
+// time-to-convergence without racing the measurement against background
+// workers. Immediate when the Explorer runs synchronous maintenance.
+func (d *Dispatcher) Quiesce(ctx context.Context) error { return d.ex.Quiesce(ctx) }
+
 // Submit enqueues one query with no caller context; its result is delivered
 // on out. Without admission control Submit blocks when all workers are busy
 // and the (bounded) queue is full — the backpressure that keeps a heavy

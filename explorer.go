@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spaceodyssey/internal/core"
@@ -78,6 +79,17 @@ type Options struct {
 	// tree files co-locate, and merge files land next to their hottest
 	// member dataset. RoundRobinPlacement() stripes files blindly.
 	Placement PlacementPolicy
+	// AsyncMaintenance moves layout maintenance (partition refinement and
+	// the merge step) off the query path: queries answer immediately from
+	// the current layout and enqueue coalescing background tasks that a
+	// bounded scheduler drains concurrently across datasets. Use Quiesce to
+	// wait for the layout to converge, and Close to shut the pipeline down.
+	// Default off — the paper's synchronous inline pipeline, whose oracle
+	// contract is byte-for-byte untouched.
+	AsyncMaintenance bool
+	// MaintenanceWorkers bounds the background scheduler's pool (<= 0
+	// defaults to 2). Only meaningful with AsyncMaintenance.
+	MaintenanceWorkers int
 }
 
 // Topology describes the storage layout an Explorer runs on.
@@ -112,6 +124,8 @@ func (o Options) engineConfig() core.Config {
 	cfg.Merger.ShareSegments = o.ShareMergeSegments
 	cfg.Merger.AdaptiveThresholds = o.AdaptiveMergeThresholds
 	cfg.DisableMerging = o.DisableMerging
+	cfg.AsyncMaintenance = o.AsyncMaintenance
+	cfg.MaintenanceWorkers = o.MaintenanceWorkers
 	return cfg
 }
 
@@ -133,9 +147,20 @@ type Explorer struct {
 
 	// mu guards raws, and orders queries (shared) against AddDataset
 	// (exclusive) so the device clock/stat resets in AddDataset never race
-	// in-flight timing measurements.
+	// in-flight timing measurements. Close takes it exclusively too, so a
+	// closed Explorer has no query in flight.
 	mu   sync.RWMutex
 	raws map[DatasetID]*rawfile.Raw
+
+	// closed is set by Close; checked on the query and dataset paths so
+	// every post-Close call fails fast with ErrClosed. closeOnce runs the
+	// shutdown exactly once; closeDone lets concurrent Close callers wait
+	// for it to actually finish; closeErr (written before closeDone closes)
+	// is the device-close outcome every caller returns.
+	closed    atomic.Bool
+	closeOnce sync.Once
+	closeDone chan struct{}
+	closeErr  error
 }
 
 // NewExplorer creates an Explorer with the given options.
@@ -162,10 +187,11 @@ func NewExplorer(opts Options) (*Explorer, error) {
 		return nil, err
 	}
 	return &Explorer{
-		opts:   opts,
-		dev:    dev,
-		engine: eng,
-		raws:   make(map[DatasetID]*rawfile.Raw),
+		opts:      opts,
+		dev:       dev,
+		engine:    eng,
+		raws:      make(map[DatasetID]*rawfile.Raw),
+		closeDone: make(chan struct{}),
 	}, nil
 }
 
@@ -174,8 +200,14 @@ func NewExplorer(opts Options) (*Explorer, error) {
 // not count toward exploration time). Every object must carry the given
 // dataset id. The dataset is indexed lazily as queries touch it.
 func (e *Explorer) AddDataset(id DatasetID, objs []Object) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.closed.Load() {
+		return ErrClosed
+	}
 	if _, dup := e.raws[id]; dup {
 		return fmt.Errorf("odyssey: dataset %d already added", id)
 	}
@@ -194,7 +226,13 @@ func (e *Explorer) AddDataset(id DatasetID, objs []Object) error {
 	}
 	e.raws[id] = raw
 	// The data pre-exists the exploration session: acquiring it is not
-	// query-to-insight time.
+	// query-to-insight time. Holding mu exclusively keeps queries out, but
+	// background maintenance tasks run on their own locks — drain them
+	// first so the clock reset can never land inside a task's timing
+	// interval (a reset mid-task would charge negative phase durations).
+	if err := e.engine.Quiesce(nil); err != nil {
+		return err
+	}
 	e.dev.ResetClock()
 	e.dev.ResetStats()
 	e.dev.DropCaches()
@@ -255,11 +293,20 @@ func (e *Explorer) QueryTimedCtx(ctx context.Context, q Box, datasets []DatasetI
 	if len(datasets) == 0 {
 		return nil, 0, fmt.Errorf("odyssey: query names no datasets")
 	}
+	if e.closed.Load() {
+		return nil, 0, ErrClosed
+	}
 	if err := simdisk.CheckCtx(ctx); err != nil {
 		return nil, 0, err
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	// Re-check under the lock: Close marks closed and then takes mu
+	// exclusively, so a query that got its read lock either started before
+	// Close (and Close waits for it) or observes the flag here.
+	if e.closed.Load() {
+		return nil, 0, ErrClosed
+	}
 	if e.opts.DropCachesPerQuery {
 		e.dev.DropCaches()
 	}
@@ -372,6 +419,56 @@ func (e *Explorer) TargetLevels(id DatasetID, qVol float64) (int, error) {
 	ppl := tree.FanoutPerDim()
 	vp := e.opts.Bounds.Volume() / float64(ppl*ppl*ppl)
 	return tree.TargetLevels(vp, qVol), nil
+}
+
+// Quiesce blocks until the background maintenance pipeline has drained
+// every queued and running task — the point where the physical layout has
+// absorbed all scheduled refinements and merges for the traffic seen so
+// far. Benchmarks and tests call it to compare converged layouts
+// deterministically. Without Options.AsyncMaintenance it returns
+// immediately (the synchronous engine converges inline). When ctx expires
+// first, the wait aborts with a cancellation error; the pipeline keeps
+// draining in the background regardless.
+func (e *Explorer) Quiesce(ctx context.Context) error {
+	return e.engine.Quiesce(ctx)
+}
+
+// MaintenanceStats snapshots the background maintenance pipeline's counters
+// (queued/coalesced/completed tasks, queue-depth high-water). All zeros
+// when AsyncMaintenance is off.
+func (e *Explorer) MaintenanceStats() MaintenanceStats {
+	return e.engine.MaintenanceStats()
+}
+
+// MaintenanceErr returns the most recent background maintenance task error
+// (nil when every task succeeded or AsyncMaintenance is off). A failed task
+// leaves the layout consistent but unconverged in its region.
+func (e *Explorer) MaintenanceErr() error { return e.engine.MaintenanceErr() }
+
+// Close shuts the Explorer down: new queries and dataset registrations
+// fail fast with ErrClosed, in-flight queries are waited out, the
+// maintenance queue is cancel-and-drained (queued tasks dropped, running
+// tasks completed — layout mutations are never interrupted mid-way), and
+// only then is the simulated device closed, so no maintenance writer can
+// ever race device shutdown. Idempotent and safe to call concurrently with
+// queries; inspection methods (Clock, DiskStats, Metrics) keep working on
+// a closed Explorer.
+func (e *Explorer) Close() error {
+	e.closeOnce.Do(func() {
+		e.closed.Store(true)
+		// Taking mu exclusively waits out every in-flight query (they hold
+		// it shared for their full duration); new ones fail fast on the
+		// flag.
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		e.engine.Close()
+		e.closeErr = e.dev.Close()
+		close(e.closeDone)
+	})
+	// Losers of the once race wait for the shutdown to actually finish, so
+	// every returning Close call means "closed", not "closing".
+	<-e.closeDone
+	return e.closeErr
 }
 
 // Engine exposes the underlying core engine for advanced inspection.

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"spaceodyssey/internal/geom"
+	"spaceodyssey/internal/object"
+	"spaceodyssey/internal/octree"
+	"spaceodyssey/internal/simdisk"
+)
+
+// MaintenanceStats counts the background maintenance pipeline's activity.
+// All counters are lifetime totals; the ledger balances as
+// Queued == Completed + Failed + Dropped once the pipeline is closed.
+type MaintenanceStats struct {
+	// Queued is how many tasks (refinement + merge) were accepted onto the
+	// queues.
+	Queued int64
+	// Coalesced is how many enqueue attempts were absorbed by an
+	// already-pending task for the same partition or combination — work the
+	// pipeline never had to do because duplicates folded together.
+	Coalesced int64
+	// Completed is how many tasks executed to completion.
+	Completed int64
+	// Failed is how many tasks returned an error (the layout stays
+	// consistent — a failed task simply leaves its region unconverged).
+	Failed int64
+	// Dropped is how many queued tasks Close discarded (cancel-and-drain).
+	Dropped int64
+	// RefineTasks and MergeTasks split Completed by kind.
+	RefineTasks int64
+	MergeTasks  int64
+	// Refinements is how many refinement operations maintenance applied.
+	Refinements int64
+	// QueueDepth is the current number of queued (not yet running) tasks.
+	QueueDepth int
+	// QueueDepthHighWater is the deepest the queue has ever been — the
+	// backlog a sizing exercise has to plan for.
+	QueueDepthHighWater int
+}
+
+// refineTask asks for one partition of one dataset to be refined to
+// convergence for the query window that demanded it. members is the
+// demanding query's (sorted) combination: the worker re-checks the
+// combination's merge-file coverage before each step, so a partition a
+// concurrent merge covered in the meantime is not refined (§3.2.2's
+// merged-partitions-are-not-refined rule holds across the async gap).
+type refineTask struct {
+	key     octree.Key
+	box     geom.Box
+	qVol    float64
+	members []object.DatasetID
+}
+
+// mergeTask asks for one combination's merge step to run.
+type mergeTask struct {
+	key     ComboKey
+	members []object.DatasetID
+}
+
+// maintainer is the background maintenance scheduler behind
+// Config.AsyncMaintenance: queries enqueue coalescing refinement and merge
+// tasks instead of mutating the layout inline, and a bounded worker pool
+// drains them — refinement concurrently across datasets (one writer per
+// dataset, preserved by taking that dataset's tree lock exclusively), the
+// merge step for a combination only once its member datasets have no
+// refinement work queued or running, so merges see converged trees.
+//
+// Synchronization: mu guards every queue, the coalescing maps, the active
+// sets and the statistics; cond wakes workers when work arrives or gating
+// state changes; idle is the broadcast channel Quiesce waits on (closed
+// whenever the pipeline has neither queued nor in-flight work, replaced
+// with a fresh channel when work arrives). Task execution itself runs
+// outside mu under the engine's own locks.
+type maintainer struct {
+	o       *Odyssey
+	workers int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+	paused bool // tests freeze the pipeline to observe queue state
+
+	refineQ       map[object.DatasetID][]refineTask
+	refinePending map[object.DatasetID]map[octree.Key]bool
+	activeRefine  map[object.DatasetID]bool
+
+	mergeQ       []mergeTask
+	mergePending map[ComboKey]bool
+	activeMerge  map[ComboKey]bool
+
+	queueLen int
+	inFlight int
+	stats    MaintenanceStats
+	lastErr  error
+
+	idleNow bool
+	idle    chan struct{}
+
+	wg sync.WaitGroup
+}
+
+// newMaintainer starts the pipeline with the given worker-pool size
+// (<= 0 defaults to 2 — enough to overlap refinement across datasets with
+// a concurrent merge without competing with query-serving goroutines for
+// the machine).
+func newMaintainer(o *Odyssey, workers int) *maintainer {
+	if workers <= 0 {
+		workers = 2
+	}
+	m := &maintainer{
+		o:             o,
+		workers:       workers,
+		refineQ:       make(map[object.DatasetID][]refineTask),
+		refinePending: make(map[object.DatasetID]map[octree.Key]bool),
+		activeRefine:  make(map[object.DatasetID]bool),
+		mergePending:  make(map[ComboKey]bool),
+		activeMerge:   make(map[ComboKey]bool),
+		idleNow:       true,
+		idle:          make(chan struct{}),
+	}
+	close(m.idle) // idle at birth
+	m.cond = sync.NewCond(&m.mu)
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// noteWorkLocked records a newly queued task: high-water tracking and
+// re-arming the idle channel.
+func (m *maintainer) noteWorkLocked() {
+	m.queueLen++
+	m.stats.Queued++
+	if m.queueLen > m.stats.QueueDepthHighWater {
+		m.stats.QueueDepthHighWater = m.queueLen
+	}
+	if m.idleNow {
+		m.idle = make(chan struct{})
+		m.idleNow = false
+	}
+}
+
+// maybeIdleLocked closes the idle channel when nothing is queued or running.
+func (m *maintainer) maybeIdleLocked() {
+	if !m.idleNow && m.queueLen == 0 && m.inFlight == 0 {
+		close(m.idle)
+		m.idleNow = true
+	}
+}
+
+// EnqueueRefine schedules the given partitions of one dataset for
+// background refinement, coalescing keys that already have a task pending.
+// box and qVol describe the query that demanded the refinement (the worker
+// refines the region to convergence for that demand); members is that
+// query's combination, for the worker's merge-coverage re-check.
+func (m *maintainer) EnqueueRefine(ds object.DatasetID, keys []octree.Key, box geom.Box, qVol float64, members []object.DatasetID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	pend := m.refinePending[ds]
+	if pend == nil {
+		pend = make(map[octree.Key]bool)
+		m.refinePending[ds] = pend
+	}
+	// Defensive copy, like EnqueueMerge: the tasks outlive the call and a
+	// caller reusing its slice must not corrupt the coverage re-check.
+	members = append([]object.DatasetID(nil), members...)
+	added := false
+	for _, k := range keys {
+		if pend[k] {
+			m.stats.Coalesced++
+			continue
+		}
+		pend[k] = true
+		m.refineQ[ds] = append(m.refineQ[ds], refineTask{
+			key: k, box: box, qVol: qVol, members: members,
+		})
+		m.noteWorkLocked()
+		added = true
+	}
+	if added {
+		m.cond.Broadcast()
+	}
+}
+
+// EnqueueMerge schedules one combination's merge step, coalescing with a
+// pending task for the same combination.
+func (m *maintainer) EnqueueMerge(key ComboKey, members []object.DatasetID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	if m.mergePending[key] {
+		m.stats.Coalesced++
+		return
+	}
+	m.mergePending[key] = true
+	m.mergeQ = append(m.mergeQ, mergeTask{
+		key:     key,
+		members: append([]object.DatasetID(nil), members...),
+	})
+	m.noteWorkLocked()
+	m.cond.Broadcast()
+}
+
+// execTask is one unit of work a worker picked off the queues.
+type execTask struct {
+	isMerge bool
+	ds      object.DatasetID // refine
+	refine  refineTask       // refine
+	merge   mergeTask        // merge
+}
+
+// membersBusyLocked reports whether any member dataset still has refinement
+// work queued or running — the gate that makes the merge step a separate
+// stage ordered after refinement.
+func (m *maintainer) membersBusyLocked(members []object.DatasetID) bool {
+	for _, ds := range members {
+		if m.activeRefine[ds] || len(m.refineQ[ds]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// pickLocked claims the next runnable task: any dataset's refinement first
+// (one writer per dataset — a dataset with an active task is skipped, but
+// different datasets refine concurrently), then any merge whose combination
+// is single-flight and whose members are refinement-quiescent.
+func (m *maintainer) pickLocked() (execTask, bool) {
+	if m.paused {
+		return execTask{}, false
+	}
+	for ds, q := range m.refineQ {
+		if len(q) == 0 || m.activeRefine[ds] {
+			continue
+		}
+		t := q[0]
+		m.refineQ[ds] = q[1:]
+		delete(m.refinePending[ds], t.key)
+		m.activeRefine[ds] = true
+		m.queueLen--
+		m.stats.QueueDepth = m.queueLen
+		return execTask{ds: ds, refine: t}, true
+	}
+	for i, mt := range m.mergeQ {
+		if m.activeMerge[mt.key] || m.membersBusyLocked(mt.members) {
+			continue
+		}
+		m.mergeQ = append(m.mergeQ[:i], m.mergeQ[i+1:]...)
+		delete(m.mergePending, mt.key)
+		m.activeMerge[mt.key] = true
+		m.queueLen--
+		m.stats.QueueDepth = m.queueLen
+		return execTask{isMerge: true, merge: mt}, true
+	}
+	return execTask{}, false
+}
+
+// worker drains tasks until Close. Completion of any task re-broadcasts:
+// finishing the last refinement of a dataset can make a gated merge
+// runnable for a sibling worker.
+func (m *maintainer) worker() {
+	defer m.wg.Done()
+	m.mu.Lock()
+	for {
+		task, ok := m.pickLocked()
+		for !ok && !m.closed {
+			m.cond.Wait()
+			task, ok = m.pickLocked()
+		}
+		if !ok { // closed with nothing runnable
+			m.mu.Unlock()
+			return
+		}
+		m.inFlight++
+		m.mu.Unlock()
+
+		var refined int
+		var err error
+		if task.isMerge {
+			err = m.o.runMergeAsync(task.merge.key, task.merge.members)
+		} else {
+			refined, err = m.o.runRefineTask(task.ds, task.refine)
+		}
+
+		m.mu.Lock()
+		m.inFlight--
+		if task.isMerge {
+			delete(m.activeMerge, task.merge.key)
+		} else {
+			delete(m.activeRefine, task.ds)
+		}
+		if err != nil {
+			m.stats.Failed++
+			m.lastErr = err
+		} else {
+			m.stats.Completed++
+			if task.isMerge {
+				m.stats.MergeTasks++
+			} else {
+				m.stats.RefineTasks++
+			}
+		}
+		m.stats.Refinements += int64(refined)
+		m.maybeIdleLocked()
+		m.cond.Broadcast()
+	}
+}
+
+// Stats snapshots the pipeline counters.
+func (m *maintainer) Stats() MaintenanceStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.QueueDepth = m.queueLen
+	return s
+}
+
+// Err returns the most recent task error (nil when everything succeeded).
+func (m *maintainer) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastErr
+}
+
+// SetPaused freezes (true) or thaws (false) task pickup; queued work stays
+// queued while paused. Tests use it to observe coalescing deterministically.
+func (m *maintainer) SetPaused(paused bool) {
+	m.mu.Lock()
+	m.paused = paused
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// Quiesce blocks until the pipeline has no queued or running tasks — the
+// point where the layout has absorbed every scheduled mutation. Returns
+// early with a cancellation error when ctx expires first; ctx == nil waits
+// indefinitely.
+func (m *maintainer) Quiesce(ctx context.Context) error {
+	m.mu.Lock()
+	ch := m.idle
+	m.mu.Unlock()
+	if ctx == nil {
+		<-ch
+		return nil
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return simdisk.Canceled(ctx.Err())
+	}
+}
+
+// Close cancels-and-drains the pipeline: queued tasks are dropped (counted
+// in Stats().Dropped), in-flight tasks run to completion — layout mutations
+// are never interrupted mid-way — and every worker goroutine exits before
+// Close returns. Safe to call more than once.
+func (m *maintainer) Close() {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		m.stats.Dropped += int64(m.queueLen)
+		m.queueLen = 0
+		m.stats.QueueDepth = 0
+		m.refineQ = make(map[object.DatasetID][]refineTask)
+		m.refinePending = make(map[object.DatasetID]map[octree.Key]bool)
+		m.mergeQ = nil
+		m.mergePending = make(map[ComboKey]bool)
+		m.paused = false // a paused pipeline must still wind down
+		m.maybeIdleLocked()
+		m.cond.Broadcast()
+	}
+	m.mu.Unlock()
+	m.wg.Wait()
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"spaceodyssey/internal/geom"
@@ -88,13 +89,47 @@ func (m *MergeFile) Pages() int64 {
 // covering returns the merge entry whose cell contains key (walking the
 // ancestor chain), if any.
 func (m *MergeFile) covering(key octree.Key, fanout int) (octree.Key, bool) {
+	return coveringIn(m.entries, key, fanout)
+}
+
+// coveringIn is covering over any entry map (merge files and staged merges
+// share it).
+func coveringIn(entries map[octree.Key]map[object.DatasetID]segment, key octree.Key, fanout int) (octree.Key, bool) {
 	for lvl := int(key.Level); lvl >= 1; lvl-- {
 		anc := key.Ancestor(uint8(lvl), fanout)
-		if _, ok := m.entries[anc]; ok {
+		if _, ok := entries[anc]; ok {
 			return anc, true
 		}
 	}
 	return octree.Key{}, false
+}
+
+// EntryKeys returns the merged partition keys in a deterministic order (for
+// layout comparison and diagnostics).
+func (m *MergeFile) EntryKeys() []octree.Key {
+	out := make([]octree.Key, 0, len(m.entries))
+	for k := range m.entries {
+		out = append(out, k)
+	}
+	sortKeys(out)
+	return out
+}
+
+// sortKeys orders keys by (level, z, y, x), the collector's canonical order.
+func sortKeys(keys []octree.Key) {
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Level != b.Level {
+			return a.Level < b.Level
+		}
+		if a.Z != b.Z {
+			return a.Z < b.Z
+		}
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		return a.X < b.X
+	})
 }
 
 // MergerConfig tunes the Merger.
@@ -243,6 +278,17 @@ func (m *Merger) OnQuery() {
 // NumFiles returns how many merge files exist.
 func (m *Merger) NumFiles() int { return len(m.files) }
 
+// Files returns the merge files ordered by combination key (for layout
+// comparison and diagnostics). Caller must hold the engine's layout lock.
+func (m *Merger) Files() []*MergeFile {
+	out := make([]*MergeFile, 0, len(m.files))
+	for _, f := range m.files {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].combo < out[j].combo })
+	return out
+}
+
 // TotalPages returns the disk space merge files currently occupy.
 func (m *Merger) TotalPages() int64 {
 	var n int64
@@ -254,10 +300,26 @@ func (m *Merger) TotalPages() int64 {
 
 // Lookup applies the paper's routing: exact combination first, then the
 // smallest superset, then the subset covering the most requested datasets.
+// The chosen file's recency is ticked for budget eviction.
 func (m *Merger) Lookup(datasets []object.DatasetID) (*MergeFile, Relation) {
+	f, rel := m.lookup(datasets)
+	if f != nil {
+		m.touch(f)
+	}
+	return f, rel
+}
+
+// LookupNoTouch is Lookup without the recency tick: background maintenance
+// re-checks coverage through it so observation never perturbs the LRU
+// eviction order queries establish.
+func (m *Merger) LookupNoTouch(datasets []object.DatasetID) (*MergeFile, Relation) {
+	return m.lookup(datasets)
+}
+
+// lookup is the routing rule shared by Lookup and LookupNoTouch.
+func (m *Merger) lookup(datasets []object.DatasetID) (*MergeFile, Relation) {
 	key := KeyOf(datasets)
 	if f, ok := m.files[key]; ok {
-		m.touch(f)
 		return f, RelExact
 	}
 	want := make(map[object.DatasetID]bool, len(datasets))
@@ -293,9 +355,6 @@ func (m *Merger) Lookup(datasets []object.DatasetID) (*MergeFile, Relation) {
 				best, bestRel = f, RelSubset
 			}
 		}
-	}
-	if best != nil {
-		m.touch(best)
 	}
 	return best, bestRel
 }
@@ -381,6 +440,16 @@ func (m *Merger) MergeOrExtend(
 
 // newMergeFile registers an empty merge file for the combination.
 func (m *Merger) newMergeFile(key ComboKey, datasets []object.DatasetID) *MergeFile {
+	mf := m.buildMergeFile(key, datasets)
+	m.files[key] = mf
+	m.MergesCreated++
+	return mf
+}
+
+// buildMergeFile allocates an empty merge file for the combination without
+// registering it in the directory — staged merges keep the file private
+// until PublishMerge.
+func (m *Merger) buildMergeFile(key ComboKey, datasets []object.DatasetID) *MergeFile {
 	members := append([]object.DatasetID(nil), datasets...)
 	memberOf := make(map[object.DatasetID]bool, len(members))
 	for _, ds := range members {
@@ -390,16 +459,185 @@ func (m *Merger) newMergeFile(key ComboKey, datasets []object.DatasetID) *MergeF
 	if m.PlaceGroup != nil {
 		group = m.PlaceGroup(members)
 	}
-	mf := &MergeFile{
+	return &MergeFile{
 		combo:    key,
 		members:  members,
 		memberOf: memberOf,
 		file:     pagefile.CreateInGroup(m.dev, "merge:"+string(key), group),
 		entries:  make(map[octree.Key]map[object.DatasetID]segment),
 	}
-	m.files[key] = mf
-	m.MergesCreated++
-	return mf
+}
+
+// PreparedMerge is a staged merge step: partition copies already appended to
+// the merge file's pages but not yet published — no reader can reach pages
+// that have no directory entry, so the expensive copy I/O of PrepareMerge
+// runs under shared locks, off the query path, and PublishMerge flips the
+// entries in under the exclusive layout lock in O(entries) map inserts.
+type PreparedMerge struct {
+	key     ComboKey
+	mf      *MergeFile
+	isNew   bool
+	entries map[octree.Key]map[object.DatasetID]segment
+	order   []octree.Key // append order, for deterministic publication
+}
+
+// Appended returns how many partition entries the staged merge holds.
+func (p *PreparedMerge) Appended() int { return len(p.order) }
+
+// covering reports whether key's cell is covered by a published or staged
+// entry.
+func (p *PreparedMerge) covering(key octree.Key, fanout int) bool {
+	if p.mf != nil {
+		if _, ok := p.mf.covering(key, fanout); ok {
+			return true
+		}
+	}
+	_, ok := coveringIn(p.entries, key, fanout)
+	return ok
+}
+
+// overlaps reports whether key contains a published or staged entry.
+func (p *PreparedMerge) overlaps(key octree.Key, fanout int) bool {
+	if p.mf != nil && overlapsEntry(p.mf, key, fanout) {
+		return true
+	}
+	for existing := range p.entries {
+		if key.AncestorOf(existing, fanout) {
+			return true
+		}
+	}
+	return false
+}
+
+// CanStageMerges reports whether the configuration allows the two-stage
+// prepare/publish merge path: the paper's SameLevel policy with segment
+// sharing off. RefineToFinest and CoarsestCover may mutate member trees
+// mid-merge and segment sharing reads the cross-file segment index, so both
+// fall back to the classic exclusive MergeOrExtend.
+func (m *Merger) CanStageMerges() bool {
+	return m.cfg.LevelPolicy == SameLevel && !m.cfg.ShareSegments
+}
+
+// PrepareMerge is stage one of a two-stage merge: it plans and copies every
+// qualifying uncovered candidate into the combination's merge file (created
+// privately when none exists) WITHOUT registering the entries, and returns
+// the staged state for PublishMerge. Because unregistered pages are
+// unreachable, the caller only needs the engine's shared layout lock plus
+// read locks on every member tree — queries keep flowing while the copies
+// run. The caller must guarantee single-flight per combination (two
+// concurrent prepares for one combination would race on the file's append
+// position). Returns nil when there is nothing to stage.
+func (m *Merger) PrepareMerge(
+	key ComboKey,
+	datasets []object.DatasetID,
+	candidates []octree.Key,
+	trees map[object.DatasetID]*octree.Tree,
+) (*PreparedMerge, error) {
+	if !m.CanStageMerges() {
+		return nil, fmt.Errorf("core: merge staging requires the same-level policy without segment sharing")
+	}
+	if len(datasets) < m.cfg.MinCombination {
+		return nil, nil
+	}
+	fanout := 0
+	for _, t := range trees {
+		fanout = t.FanoutPerDim()
+		break
+	}
+	prep := &PreparedMerge{
+		key:     key,
+		mf:      m.files[key],
+		entries: make(map[octree.Key]map[object.DatasetID]segment),
+	}
+	for _, cand := range candidates {
+		if prep.covering(cand, fanout) {
+			continue
+		}
+		job, ok := m.planJob(cand, datasets, trees)
+		if !ok {
+			continue
+		}
+		// The policy may have lifted or kept the key; re-check both
+		// directions against published and staged entries to keep them
+		// disjoint.
+		if job.key != cand && prep.covering(job.key, fanout) {
+			continue
+		}
+		if prep.overlaps(job.key, fanout) {
+			continue
+		}
+		if prep.mf == nil {
+			prep.mf = m.buildMergeFile(key, datasets)
+			prep.isNew = true
+		}
+		segs := make(map[object.DatasetID]segment, len(datasets))
+		for i, ds := range datasets {
+			objs, err := job.readers[i]()
+			if err != nil {
+				return prep.failed(), fmt.Errorf("merge read %v ds %d: %w", job.key, ds, err)
+			}
+			run, err := prep.mf.file.AppendObjects(objs)
+			if err != nil {
+				return prep.failed(), fmt.Errorf("merge write %v ds %d: %w", job.key, ds, err)
+			}
+			segs[ds] = segment{run: run}
+		}
+		prep.entries[job.key] = segs
+		prep.order = append(prep.order, job.key)
+	}
+	if len(prep.order) == 0 {
+		return nil, nil
+	}
+	return prep, nil
+}
+
+// failed trims a stage that hit an error down to its completed entries —
+// mirroring the synchronous MergeOrExtend, which also keeps the partitions
+// it appended before failing. A failed stage with nothing completed
+// deletes the private file it may have created, so no unreachable pages
+// leak; the caller publishes whatever non-nil stage remains.
+func (p *PreparedMerge) failed() *PreparedMerge {
+	if len(p.order) > 0 {
+		return p
+	}
+	if p.isNew && p.mf != nil {
+		_ = p.mf.file.Delete()
+	}
+	return nil
+}
+
+// PublishMerge is stage two: it registers the staged entries (and, for a
+// fresh combination, the merge file itself) so readers can route to them.
+// The caller holds the exclusive layout lock, so publication is atomic —
+// a query sees either none or all of the staged entries, never a partial
+// merge step. If the target merge file was evicted between the stages the
+// staged pages died with the file and nothing is published. Returns the
+// number of entries published.
+func (m *Merger) PublishMerge(prep *PreparedMerge) int {
+	if prep == nil || len(prep.order) == 0 {
+		return 0
+	}
+	if prep.isNew {
+		if m.files[prep.key] != nil {
+			// A competing merge registered the combination mid-stage; the
+			// scheduler's single-flight rule makes this unreachable, but
+			// dropping the stage (and its private file) is always safe.
+			_ = prep.mf.file.Delete()
+			return 0
+		}
+		m.files[prep.key] = prep.mf
+		m.MergesCreated++
+	} else if m.files[prep.key] != prep.mf {
+		return 0 // evicted mid-stage; the staged pages are gone with the file
+	}
+	for _, k := range prep.order {
+		segs := prep.entries[k]
+		prep.mf.entries[k] = segs
+		m.PartitionsMerged++
+		m.segmentsWritten += len(segs)
+	}
+	m.touch(prep.mf)
+	return len(prep.order)
 }
 
 // appendJob copies one partition into the merge file: for every member

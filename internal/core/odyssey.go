@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,6 +25,16 @@ type Config struct {
 	// DisableMerging turns the Merger off — the paper's "Odyssey w/o
 	// merging" ablation (Figure 5c).
 	DisableMerging bool
+	// AsyncMaintenance moves layout maintenance (refinement and merging)
+	// off the query path: queries answer immediately from the current
+	// layout — the level-0 scan or the best-available tree partitions —
+	// and enqueue coalescing maintenance tasks that a background scheduler
+	// drains concurrently across datasets. Default off: the synchronous
+	// inline pipeline of the paper.
+	AsyncMaintenance bool
+	// MaintenanceWorkers bounds the background scheduler's worker pool
+	// (<= 0 defaults to 2). Only meaningful with AsyncMaintenance.
+	MaintenanceWorkers int
 }
 
 // DefaultConfig returns the paper's configuration: rt=4, ppl=64, mt=2,
@@ -109,6 +120,10 @@ type Odyssey struct {
 	treeMu map[object.DatasetID]*sync.RWMutex
 	merger *Merger
 
+	// maint is the background maintenance scheduler; nil unless
+	// Config.AsyncMaintenance is set. See maintenance.go.
+	maint *maintainer
+
 	// layoutEpoch counts physical-layout changes: level-0 builds,
 	// refinements (query- and merge-time) and merge-file evictions. The
 	// steady-state fast path uses it to recognize that a previously futile
@@ -170,6 +185,9 @@ func New(dev simdisk.Storage, raws []*rawfile.Raw, bounds geom.Box, cfg Config) 
 	// head movement on an array.
 	o.merger.PlaceGroup = func(members []object.DatasetID) string {
 		return rawfile.GroupName(o.hottestMember(members))
+	}
+	if cfg.AsyncMaintenance {
+		o.maint = newMaintainer(o, cfg.MaintenanceWorkers)
 	}
 	return o, nil
 }
@@ -352,6 +370,37 @@ func (o *Odyssey) queryTree(ctx context.Context, tree *octree.Tree, lk *sync.RWM
 	return res, err
 }
 
+// queryTreeAsync is the read-mostly variant of queryTree used when the
+// maintenance pipeline is on: the walk never refines — leaves that qualify
+// are reported in the result's WantRefine for the scheduler to pick up —
+// so the exclusive tree lock is taken only for the level-0 first-touch
+// build (the one mutation a query cannot answer without).
+func (o *Odyssey) queryTreeAsync(ctx context.Context, tree *octree.Tree, lk *sync.RWMutex, q geom.Box,
+	hook func(*octree.Partition) bool) (octree.QueryResult, error) {
+	lk.RLock()
+	if tree.Built() {
+		res, err := tree.QueryReadOnlyCtx(ctx, q, hook)
+		lk.RUnlock()
+		return res, err
+	}
+	lk.RUnlock()
+	lk.Lock()
+	var res octree.QueryResult
+	built := tree.Built()
+	t0 := o.dev.Clock()
+	err := tree.EnsureBuiltCtx(ctx)
+	buildTime := o.dev.Clock() - t0
+	if err == nil {
+		res, err = tree.QueryReadOnlyCtx(ctx, q, hook)
+	}
+	res.BuildTime += buildTime
+	if !built && tree.Built() {
+		o.layoutEpoch.Add(1)
+	}
+	lk.Unlock()
+	return res, err
+}
+
 // Query implements engine.Engine: it executes the paper's full pipeline —
 // statistics, merge-file routing (exact / superset / subset / none),
 // incremental indexing with per-query refinement, merge-file reads, and the
@@ -413,6 +462,12 @@ func (o *Odyssey) QueryCtx(ctx context.Context, q geom.Box, datasets []object.Da
 	}
 	servedSet := make(map[mergeRead]bool)
 	servedLeaves := 0
+	async := o.maint != nil
+	type dsWants struct {
+		ds   object.DatasetID
+		keys []octree.Key
+	}
+	var wants []dsWants
 	var out []object.Object
 	var touched []octree.Key
 	var phases PhaseTimes
@@ -436,10 +491,19 @@ func (o *Odyssey) QueryCtx(ctx context.Context, q geom.Box, datasets []object.Da
 				return ok
 			}
 		}
-		res, err := o.queryTree(ctx, tree, o.treeMu[ds], q, hook, covered)
+		var res octree.QueryResult
+		var err error
+		if async {
+			res, err = o.queryTreeAsync(ctx, tree, o.treeMu[ds], q, hook)
+		} else {
+			res, err = o.queryTree(ctx, tree, o.treeMu[ds], q, hook, covered)
+		}
 		if err != nil {
 			o.mu.RUnlock()
 			return nil, fmt.Errorf("core: dataset %d: %w", ds, err)
+		}
+		if len(res.WantRefine) > 0 {
+			wants = append(wants, dsWants{ds: ds, keys: res.WantRefine})
 		}
 		phases.LevelZeroBuild += res.BuildTime
 		phases.Refinement += res.RefineTime
@@ -528,68 +592,335 @@ func (o *Odyssey) QueryCtx(ctx context.Context, q geom.Box, datasets []object.Da
 	}
 	o.mu.RUnlock()
 
+	// Asynchronous maintenance: the query returns now; refinement and the
+	// merge step become coalescing background tasks. The refinements are
+	// enqueued first so the scheduler's merge gate (members must be
+	// refinement-quiescent) orders this query's merge after them.
+	if async {
+		qVol := q.Volume()
+		for _, w := range wants {
+			o.maint.EnqueueRefine(w.ds, w.keys, q, qVol, ordered)
+		}
+		if doMerge {
+			o.maint.EnqueueMerge(key, ordered)
+		}
+		return out, nil
+	}
+
 	// Post-query merge step (§3.2.1): once the combination crossed mt,
 	// merge (or extend the merge file with) every qualifying partition.
-	// Layout reorganization takes the exclusive layout lock plus the write
-	// lock of every member dataset (RefineTo may refine lagging trees).
 	if doMerge {
-		o.mu.Lock()
-		for _, ds := range ordered {
-			o.treeMu[ds].Lock()
-		}
-		o.statsMu.Lock()
-		candidates := o.stats.Partitions(key)
-		o.statsMu.Unlock()
-		refBefore := 0
-		for _, ds := range ordered {
-			refBefore += o.trees[ds].Refinements
-		}
-		t0 := o.dev.Clock()
-		appended, err := o.merger.MergeOrExtend(key, ordered, candidates, o.trees)
-		var evicted []ComboKey
-		if err == nil {
-			evicted, err = o.merger.EnforceBudget()
-		}
-		dt := o.dev.Clock() - t0
-		refAfter := 0
-		for _, ds := range ordered {
-			refAfter += o.trees[ds].Refinements
-		}
-		if err == nil {
-			// Advance the epoch only on real layout change (appends,
-			// merge-time refinement, evictions) — a no-op attempt must not
-			// invalidate other combinations' futile marks, or two stuck
-			// combinations would ping-pong exclusive retries forever.
-			if appended > 0 || refAfter != refBefore || len(evicted) > 0 {
-				o.layoutEpoch.Add(1)
-			}
-			o.statsMu.Lock()
-			if appended == 0 {
-				o.futile[key] = futileMark{candidates: len(candidates), epoch: o.layoutEpoch.Load()}
-			} else {
-				delete(o.futile, key)
-			}
-			// Reset evicted combinations' statistics before releasing the
-			// layout lock: a concurrent query that observed the eviction
-			// with stale pre-eviction counts would immediately re-merge
-			// the combination from its old candidates, thrashing the
-			// budget. Evicted combinations must re-earn merging from zero.
-			for _, combo := range evicted {
-				delete(o.futile, combo)
-				o.stats.Reset(combo)
-			}
-			o.statsMu.Unlock()
-		}
-		for i := len(ordered) - 1; i >= 0; i-- {
-			o.treeMu[ordered[i]].Unlock()
-		}
-		o.mu.Unlock()
-		if err != nil {
+		if err := o.runMergeStep(key, ordered); err != nil {
 			return nil, err
 		}
-		o.statsMu.Lock()
-		o.phases.MergeWrites += dt
-		o.statsMu.Unlock()
 	}
 	return out, nil
+}
+
+// runMergeStep is the synchronous merge step. Layout reorganization takes
+// the exclusive layout lock plus the write lock of every member dataset
+// (RefineTo may refine lagging trees), runs MergeOrExtend plus the budget
+// enforcement, and maintains the futility memo and the layout epoch.
+func (o *Odyssey) runMergeStep(key ComboKey, ordered []object.DatasetID) error {
+	o.mu.Lock()
+	for _, ds := range ordered {
+		o.treeMu[ds].Lock()
+	}
+	o.statsMu.Lock()
+	candidates := o.stats.Partitions(key)
+	o.statsMu.Unlock()
+	refBefore := 0
+	for _, ds := range ordered {
+		refBefore += o.trees[ds].Refinements
+	}
+	t0 := o.dev.Clock()
+	appended, err := o.merger.MergeOrExtend(key, ordered, candidates, o.trees)
+	var evicted []ComboKey
+	if err == nil {
+		evicted, err = o.merger.EnforceBudget()
+	}
+	dt := o.dev.Clock() - t0
+	refAfter := 0
+	for _, ds := range ordered {
+		refAfter += o.trees[ds].Refinements
+	}
+	if err == nil {
+		// Advance the epoch only on real layout change (appends,
+		// merge-time refinement, evictions) — a no-op attempt must not
+		// invalidate other combinations' futile marks, or two stuck
+		// combinations would ping-pong exclusive retries forever.
+		if appended > 0 || refAfter != refBefore || len(evicted) > 0 {
+			o.layoutEpoch.Add(1)
+		}
+		o.statsMu.Lock()
+		if appended == 0 {
+			o.futile[key] = futileMark{candidates: len(candidates), epoch: o.layoutEpoch.Load()}
+		} else {
+			delete(o.futile, key)
+		}
+		// Reset evicted combinations' statistics before releasing the
+		// layout lock: a concurrent query that observed the eviction
+		// with stale pre-eviction counts would immediately re-merge
+		// the combination from its old candidates, thrashing the
+		// budget. Evicted combinations must re-earn merging from zero.
+		for _, combo := range evicted {
+			delete(o.futile, combo)
+			o.stats.Reset(combo)
+		}
+		o.statsMu.Unlock()
+	}
+	for i := len(ordered) - 1; i >= 0; i-- {
+		o.treeMu[ordered[i]].Unlock()
+	}
+	o.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	o.statsMu.Lock()
+	o.phases.MergeWrites += dt
+	o.statsMu.Unlock()
+	return nil
+}
+
+// runRefineTask executes one background refinement task: the region under
+// the task's partition key is refined to convergence for the query window
+// that demanded it, one refinement per lock acquisition — the dataset's
+// write lock is released between steps, so queries on the same dataset
+// interleave with the convergence instead of waiting it out, and queries
+// on other datasets are completely undisturbed (the concurrent-refinement
+// property the scheduler exists for). Returns the number of refinement
+// operations applied.
+func (o *Odyssey) runRefineTask(ds object.DatasetID, t refineTask) (int, error) {
+	o.mu.RLock()
+	tree, lk := o.trees[ds], o.treeMu[ds]
+	o.mu.RUnlock()
+	if tree == nil {
+		return 0, nil
+	}
+	refined := 0
+	var dt time.Duration
+	var taskErr error
+	for {
+		// Re-check merge coverage before every step: a merge published
+		// since the demanding query ran may now cover this cell for the
+		// query's combination, and merged partitions are not refined
+		// (§3.2.2) — the sync pipeline enforces this with its covered
+		// predicate, the async pipeline re-evaluates it across the gap.
+		if o.regionCovered(ds, t) {
+			break
+		}
+		lk.Lock()
+		t0 := o.dev.Clock()
+		step, err := tree.RefineRegionStep(t.key, t.box, t.qVol)
+		dt += o.dev.Clock() - t0
+		lk.Unlock()
+		if err != nil {
+			taskErr = err
+			break
+		}
+		if !step {
+			break
+		}
+		refined++
+	}
+	if refined > 0 {
+		o.layoutEpoch.Add(1)
+	}
+	o.statsMu.Lock()
+	o.phases.Refinement += dt
+	o.statsMu.Unlock()
+	return refined, taskErr
+}
+
+// regionCovered reports whether the merge file routing the task's
+// combination now covers the task's cell — then the refinement demand is
+// void (the partition is served from the merge file and never refined).
+func (o *Odyssey) regionCovered(ds object.DatasetID, t refineTask) bool {
+	if o.cfg.DisableMerging || len(t.members) == 0 {
+		return false
+	}
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	tree := o.trees[ds]
+	if tree == nil {
+		return true // dataset vanished; nothing to refine
+	}
+	mf, _ := o.merger.LookupNoTouch(t.members)
+	if mf == nil || !mf.memberOf[ds] {
+		return false
+	}
+	_, covered := mf.covering(t.key, tree.FanoutPerDim())
+	return covered
+}
+
+// runMergeAsync executes one background merge task. Under the default
+// configuration (same-level policy, no segment sharing) it uses the
+// two-stage path: PrepareMerge copies partitions under the shared layout
+// lock plus member tree read locks — queries keep flowing during the copy
+// I/O — and PublishMerge registers the entries atomically under a brief
+// exclusive lock, so a racing query observes either none or all of the
+// step's entries, never a partial merge file. Configurations the staged
+// path cannot serve fall back to the synchronous exclusive merge step.
+func (o *Odyssey) runMergeAsync(key ComboKey, ordered []object.DatasetID) error {
+	if !o.merger.CanStageMerges() {
+		return o.runMergeStep(key, ordered)
+	}
+
+	// The futility memo for a no-op outcome uses the epoch from before the
+	// prepare stage: if anything (a racing refinement of another region)
+	// advances the layout mid-stage, the stale mark makes the next query
+	// re-attempt rather than wedge the combination.
+	epochBefore := o.layoutEpoch.Load()
+
+	o.mu.RLock()
+	for _, ds := range ordered {
+		if o.trees[ds] == nil {
+			o.mu.RUnlock()
+			return nil
+		}
+	}
+	for _, ds := range ordered {
+		o.treeMu[ds].RLock()
+	}
+	o.statsMu.Lock()
+	candidates := o.stats.Partitions(key)
+	o.statsMu.Unlock()
+	t0 := o.dev.Clock()
+	prep, prepErr := o.merger.PrepareMerge(key, ordered, candidates, o.trees)
+	dt := o.dev.Clock() - t0
+	for i := len(ordered) - 1; i >= 0; i-- {
+		o.treeMu[ordered[i]].RUnlock()
+	}
+	o.mu.RUnlock()
+	if prep == nil && prepErr != nil {
+		return prepErr
+	}
+
+	// Publish even after a prepare error: like the synchronous step, the
+	// entries staged before the failure are kept (their pages are already
+	// written — dropping them would leak unreachable space in a live merge
+	// file). Futility is memoized only on a clean no-op: a failed prepare
+	// saw an incomplete picture, so the next query must re-attempt.
+	o.mu.Lock()
+	t1 := o.dev.Clock()
+	appended := o.merger.PublishMerge(prep)
+	evicted, err := o.merger.EnforceBudget()
+	dt += o.dev.Clock() - t1
+	if err == nil {
+		if appended > 0 || len(evicted) > 0 {
+			o.layoutEpoch.Add(1)
+		}
+		o.statsMu.Lock()
+		if appended == 0 && prepErr == nil {
+			o.futile[key] = futileMark{candidates: len(candidates), epoch: epochBefore}
+		} else {
+			delete(o.futile, key)
+		}
+		for _, combo := range evicted {
+			delete(o.futile, combo)
+			o.stats.Reset(combo)
+		}
+		o.statsMu.Unlock()
+	}
+	o.mu.Unlock()
+	if err == nil {
+		err = prepErr
+	}
+	if err != nil {
+		return err
+	}
+	o.statsMu.Lock()
+	o.phases.MergeWrites += dt
+	o.statsMu.Unlock()
+	return nil
+}
+
+// AsyncMaintenance reports whether the background maintenance pipeline is
+// on.
+func (o *Odyssey) AsyncMaintenance() bool { return o.maint != nil }
+
+// MaintenanceStats snapshots the background pipeline's counters (zero when
+// maintenance is synchronous).
+func (o *Odyssey) MaintenanceStats() MaintenanceStats {
+	if o.maint == nil {
+		return MaintenanceStats{}
+	}
+	return o.maint.Stats()
+}
+
+// MaintenanceErr returns the most recent background task error, nil when
+// every task succeeded or maintenance is synchronous.
+func (o *Odyssey) MaintenanceErr() error {
+	if o.maint == nil {
+		return nil
+	}
+	return o.maint.Err()
+}
+
+// Quiesce blocks until the maintenance pipeline has drained every queued
+// and running task — the point where the layout has converged for the
+// traffic seen so far. It returns immediately when maintenance is
+// synchronous (the layout is always converged then), and early with a
+// cancellation error when ctx expires first.
+func (o *Odyssey) Quiesce(ctx context.Context) error {
+	if o.maint == nil {
+		return nil
+	}
+	return o.maint.Quiesce(ctx)
+}
+
+// Close shuts the maintenance pipeline down: queued tasks are dropped,
+// in-flight tasks run to completion (layout mutations are never
+// interrupted mid-way), and the worker goroutines exit before Close
+// returns. Queries remain answerable afterwards — they simply stop
+// scheduling maintenance. Safe to call more than once; a no-op when
+// maintenance is synchronous.
+func (o *Odyssey) Close() {
+	if o.maint != nil {
+		o.maint.Close()
+	}
+}
+
+// LayoutSignature renders the physical layout deterministically: per
+// dataset the sorted leaf cell keys, per merge file the combination and its
+// sorted entry keys. Two engines that converged to the same layout produce
+// identical strings — the async-vs-sync equivalence tests and the bench's
+// convergence check compare layouts through it. Meaningful on a quiescent
+// engine; safe (but racy in content) while queries run.
+func (o *Odyssey) LayoutSignature() string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	ids := make([]object.DatasetID, 0, len(o.trees))
+	for ds := range o.trees {
+		ids = append(ids, ds)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var b strings.Builder
+	for _, ds := range ids {
+		tree, lk := o.trees[ds], o.treeMu[ds]
+		lk.RLock()
+		fmt.Fprintf(&b, "ds%d:", ds)
+		if tree.Built() {
+			keys := make([]octree.Key, 0, tree.NumLeaves())
+			for _, p := range tree.Lookup(tree.Bounds()) {
+				keys = append(keys, p.Key())
+			}
+			sortKeys(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, " %d/%d.%d.%d", k.Level, k.X, k.Y, k.Z)
+			}
+		} else {
+			b.WriteString(" unbuilt")
+		}
+		b.WriteByte('\n')
+		lk.RUnlock()
+	}
+	for _, mf := range o.merger.Files() {
+		fmt.Fprintf(&b, "merge %s:", mf.Combo())
+		for _, k := range mf.EntryKeys() {
+			fmt.Fprintf(&b, " %d/%d.%d.%d", k.Level, k.X, k.Y, k.Z)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
 }

@@ -89,27 +89,11 @@ func (c *Collector) PartitionsUnsorted(key ComboKey) []octree.Key {
 	return out
 }
 
-// Partitions returns the accumulated partition keys of the combination in a
-// deterministic order.
+// Partitions returns the accumulated partition keys of the combination in
+// the canonical (level, z, y, x) order.
 func (c *Collector) Partitions(key ComboKey) []octree.Key {
-	set := c.partitions[key]
-	out := make([]octree.Key, 0, len(set))
-	for k := range set {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Level != b.Level {
-			return a.Level < b.Level
-		}
-		if a.Z != b.Z {
-			return a.Z < b.Z
-		}
-		if a.Y != b.Y {
-			return a.Y < b.Y
-		}
-		return a.X < b.X
-	})
+	out := c.PartitionsUnsorted(key)
+	sortKeys(out)
 	return out
 }
 

@@ -119,6 +119,10 @@ type QueryResult struct {
 	Touched []*Partition
 	// Refined is the number of refinement operations the query triggered.
 	Refined int
+	// WantRefine lists, after a read-only walk (QueryReadOnlyCtx), the keys
+	// of leaves that qualified for refinement but were served as-is. The
+	// caller schedules their refinement asynchronously.
+	WantRefine []Key
 	// BuildTime, RefineTime and ReadTime break the simulated cost of this
 	// query down by phase: the level-0 in-situ build (first touch only),
 	// refinement I/O, and partition reads.
@@ -198,6 +202,104 @@ func (t *Tree) QueryCtx(ctx context.Context, q geom.Box, serveFromStore func(*Pa
 		}
 	}
 	return res, nil
+}
+
+// QueryReadOnlyCtx answers q strictly from the current layout: the tree must
+// already be built, and nothing is built or refined — the walk takes no
+// write intent whatsoever, so concurrent callers can run it under a shared
+// tree lock. Leaves that qualify for refinement under the rt rule are served
+// as-is and reported in res.WantRefine, for the caller to hand to an
+// asynchronous maintenance scheduler. serveFromStore behaves exactly as in
+// QueryCtx: intercepted partitions are neither read nor reported as wanting
+// refinement (merged partitions are not refined, §3.2.2).
+func (t *Tree) QueryReadOnlyCtx(ctx context.Context, q geom.Box, serveFromStore func(*Partition) bool) (QueryResult, error) {
+	var res QueryResult
+	if !t.built {
+		return res, fmt.Errorf("octree: read-only query on unbuilt tree")
+	}
+	dev := t.file.Device()
+	extended := q.Expand(t.maxExtent)
+	qVol := q.Volume()
+	for _, leaf := range t.Lookup(extended) {
+		if serveFromStore != nil && serveFromStore(leaf) {
+			res.Touched = append(res.Touched, leaf)
+			continue
+		}
+		if err := simdisk.CheckCtx(ctx); err != nil {
+			return res, err
+		}
+		if t.NeedsRefinement(leaf, qVol) {
+			res.WantRefine = append(res.WantRefine, leaf.key)
+		}
+		t1 := dev.Clock()
+		objs, err := t.ReadPartitionCtx(ctx, leaf)
+		res.ReadTime += dev.Clock() - t1
+		if err != nil {
+			return res, err
+		}
+		res.Touched = append(res.Touched, leaf)
+		for _, o := range objs {
+			if o.Intersects(q) {
+				res.Objects = append(res.Objects, o)
+			}
+		}
+	}
+	return res, nil
+}
+
+// RefineRegionStep performs at most one refinement toward the convergence
+// of the region under key for the query window that demanded it: the first
+// leaf under key that intersects the (extended) window and whose volume
+// still exceeds rt times qVol is refined. It reports whether a refinement
+// happened — false means the region has converged for this demand. The
+// caller must hold the tree's write lock; a background scheduler calls it
+// in a lock-release loop so queries interleave between steps instead of
+// waiting out a whole region's convergence.
+func (t *Tree) RefineRegionStep(key Key, q geom.Box, qVol float64) (bool, error) {
+	if !t.built {
+		return false, nil
+	}
+	stack := t.LeavesUnder(key)
+	if len(stack) == 0 {
+		// The tree is coarser than the key here (it cannot un-refine, but a
+		// caller may schedule conservatively): the covering leaf owns the
+		// cell.
+		if leaf := t.LeafCovering(key); leaf != nil {
+			stack = []*Partition{leaf}
+		}
+	}
+	extended := q.Expand(t.maxExtent)
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !p.IsLeaf() || !p.box.Intersects(extended) || !t.NeedsRefinement(p, qVol) {
+			continue
+		}
+		_, err := t.Refine(p)
+		return err == nil, err
+	}
+	return false, nil
+}
+
+// RefineRegion refines, to convergence, the leaves under key that intersect
+// the (extended) window of the query that demanded the refinement: each such
+// leaf whose volume still exceeds rt times qVol is refined, and the children
+// that intersect the window are considered in turn — the fixpoint a stream
+// of identical queries would drive the region to one level at a time. It
+// returns the number of refinement operations performed. The caller must
+// hold the tree's write lock.
+func (t *Tree) RefineRegion(key Key, q geom.Box, qVol float64) (int, error) {
+	refined := 0
+	for {
+		step, err := t.RefineRegionStep(key, q, qVol)
+		if err != nil {
+			return refined, err
+		}
+		if !step {
+			return refined, nil
+		}
+		refined++
+	}
 }
 
 // TargetLevels returns the number of refinement levels (queries hitting the

@@ -122,8 +122,12 @@ func (a *DeviceArray) CreateFile(name string) FileID {
 }
 
 // CreateFileInGroup places a new file via the placement policy with an
-// affinity group hint.
+// affinity group hint. On a closed array it returns InvalidFile (members
+// are closed together, so checking one suffices).
 func (a *DeviceArray) CreateFileInGroup(name, group string) FileID {
+	if a.members[0].closed.Load() {
+		return InvalidFile
+	}
 	m := a.policy.Place(name, group, len(a.members))
 	if m < 0 || m >= len(a.members) {
 		m = ((m % len(a.members)) + len(a.members)) % len(a.members)
@@ -311,4 +315,16 @@ func (a *DeviceArray) DeviceChannelStats() [][]ChannelStats {
 		out[i] = m.ChannelStats()
 	}
 	return out
+}
+
+// Close closes every member device; the first error (if any) is returned
+// after all members have been closed. Idempotent.
+func (a *DeviceArray) Close() error {
+	var first error
+	for _, m := range a.members {
+		if err := m.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }

@@ -24,6 +24,8 @@ var (
 	ErrOutOfRange = errors.New("simdisk: page index out of range")
 	// ErrBadPageSize is returned when a write buffer is not PageSize bytes.
 	ErrBadPageSize = errors.New("simdisk: page buffer must be exactly PageSize bytes")
+	// ErrDeviceClosed is returned for file operations on a closed device.
+	ErrDeviceClosed = errors.New("simdisk: device closed")
 )
 
 // Stats aggregates device activity since the last Reset.
@@ -137,6 +139,11 @@ type Device struct {
 	// realTime holds the float64 bits of the real-time emulation scale
 	// (0 = off). See SetRealTimeScale.
 	realTime atomic.Uint64
+
+	// closed is set by Close; every file-handle resolution checks it, so all
+	// page I/O and file lifecycle operations on a closed device fail with
+	// ErrDeviceClosed.
+	closed atomic.Bool
 }
 
 // NewDevice creates a single-channel Device with the given cost model and
@@ -188,6 +195,9 @@ func NewDefaultDevice(cachePages int) *Device {
 
 // lookup resolves a file handle under the shared map lock.
 func (d *Device) lookup(id FileID) (*file, error) {
+	if d.closed.Load() {
+		return nil, ErrDeviceClosed
+	}
 	d.mu.RLock()
 	f, ok := d.files[id]
 	d.mu.RUnlock()
@@ -197,8 +207,22 @@ func (d *Device) lookup(id FileID) (*file, error) {
 	return f, nil
 }
 
-// CreateFile allocates a new empty page file and returns its handle.
+// Close marks the device closed and releases the buffer cache. Subsequent
+// file operations fail with ErrDeviceClosed; clock and stats inspection
+// keep working so a session can be audited after shutdown. Idempotent.
+func (d *Device) Close() error {
+	d.closed.Store(true)
+	d.cache.Clear()
+	return nil
+}
+
+// CreateFile allocates a new empty page file and returns its handle, or
+// InvalidFile on a closed device (every operation on InvalidFile then fails
+// with ErrDeviceClosed via lookup).
 func (d *Device) CreateFile(name string) FileID {
+	if d.closed.Load() {
+		return InvalidFile
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	id := d.next
@@ -210,6 +234,9 @@ func (d *Device) CreateFile(name string) FileID {
 // DeleteFile removes a file, releasing its pages and cache entries. Deleting
 // merge files under the space budget goes through here.
 func (d *Device) DeleteFile(id FileID) error {
+	if d.closed.Load() {
+		return ErrDeviceClosed
+	}
 	d.mu.Lock()
 	f, ok := d.files[id]
 	if !ok {

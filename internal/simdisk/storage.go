@@ -43,6 +43,12 @@ type Storage interface {
 	CachedPages() int
 	SetCacheCapacity(pages int)
 
+	// Close marks the storage closed: subsequent file operations fail with
+	// ErrDeviceClosed, and the buffer cache is released. The owner (the
+	// Explorer) drains background layout maintenance before closing, so a
+	// closed device never has writers in flight.
+	Close() error
+
 	// Topology introspection, for serving-layer reports.
 	NumDevices() int
 	NumChannels() int

@@ -50,6 +50,9 @@ type (
 	PlacementPolicy = simdisk.PlacementPolicy
 	// Metrics exposes the engine's internal counters.
 	Metrics = core.Metrics
+	// MaintenanceStats counts the background maintenance pipeline's
+	// activity (see Options.AsyncMaintenance).
+	MaintenanceStats = core.MaintenanceStats
 	// Query couples a range with the datasets it targets.
 	Query = workload.Query
 	// MergeLevelPolicy selects the mixed-refinement-level merge strategy.
