@@ -26,6 +26,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 	"path/filepath"
@@ -64,8 +65,10 @@ func main() {
 		channels   = flag.Int("channels", 1, "independent I/O channels (platter heads) per device")
 		placement  = flag.String("placement", "affinity", "file placement across devices: affinity|roundrobin")
 		jsonPath   = flag.String("json", "", "also write the -parallel serving report (topology, timings, per-channel utilization) as JSON to this file")
-		asyncCmp   = flag.Bool("async", false, "with -parallel: compare synchronous vs asynchronous layout maintenance on the miss-heavy adapting workload (per-query latency percentiles + time-to-convergence)")
-		maintWk    = flag.Int("maintworkers", 2, "maintenance worker pool size for the -async comparison's async mode")
+		asyncCmp   = flag.Bool("async", false, "with -parallel: compare synchronous vs asynchronous layout maintenance on the miss-heavy adapting workload (per-query latency percentiles + time-to-convergence); with -share: run the sharing comparison's engines in async-maintenance mode")
+		maintWk    = flag.Int("maintworkers", 2, "maintenance worker pool size for async-maintenance modes")
+		share      = flag.Bool("share", false, "with -parallel: compare ShareScans off vs on under an overlapping hot-region pooled workload (coalesced reads, pages saved, byte-identical results), writing BENCH_sharing.json fields via -json")
+		batchWin   = flag.Duration("batchwindow", 2*time.Millisecond, "dispatcher micro-batch window for the -share comparison's sharing mode (0 disables batching)")
 	)
 	flag.Parse()
 
@@ -130,6 +133,13 @@ func main() {
 		if *queueWait != 0 && *maxInFl == 0 {
 			fatalf("-queuewait needs -maxinflight (there is no slot wait without an in-flight cap)")
 		}
+		if *share {
+			if *deadline != 0 || *maxInFl != 0 || *queueWait != 0 {
+				fatalf("-deadline/-maxinflight/-queuewait cannot be combined with -share (the comparison measures raw sharing gains)")
+			}
+			runSharingServing(cfg, wcfg, *parallel, *rtScale, *asyncCmp, *maintWk, *batchWin, *jsonPath)
+			return
+		}
 		if *asyncCmp {
 			if *deadline != 0 || *maxInFl != 0 || *queueWait != 0 {
 				fatalf("-deadline/-maxinflight/-queuewait cannot be combined with -async (the comparison measures raw serving latency)")
@@ -147,6 +157,9 @@ func main() {
 	}
 	if *asyncCmp {
 		fatalf("-async needs -parallel (it compares pooled serving under both maintenance modes)")
+	}
+	if *share {
+		fatalf("-share needs -parallel (sharing only pays off across concurrent queries)")
 	}
 	if *deadline != 0 || *maxInFl != 0 || *queueWait != 0 {
 		fatalf("-deadline/-maxinflight/-queuewait only apply to the -parallel experiment")
@@ -626,6 +639,246 @@ func runAsyncServing(cfg bench.Config, wcfg bench.WorkloadConfig, workers int, s
 		}
 		fmt.Printf("(wrote %s)\n", jsonPath)
 	}
+}
+
+// runSharingServing measures scan sharing & single-flight I/O: the same
+// overlapping hot-region workload (clustered query centers, a heavy-hitter
+// combination — the "many users on the same hot sky region" shape shared
+// archive portals serve) is converged once per mode on a virtual disk, then
+// replayed cold-cache (DropCachesPerQuery) through a pool of the given size
+// on a real-time emulated disk, with Options.ShareScans off and on. The
+// sharing mode also stages submissions in the dispatcher's micro-batch
+// window so workers present coalescable work. The report compares pages
+// read from the device, simulated critical-path time and wall time, carries
+// the sharing ledger (coalesced reads, pages saved, attached scans, shared
+// builds, batches), and verifies byte-identical per-query results between
+// the modes.
+func runSharingServing(cfg bench.Config, wcfg bench.WorkloadConfig, workers int, scale float64, async bool, maintWorkers int, batchWindow time.Duration, jsonPath string) {
+	k := 3
+	if k > cfg.Datasets {
+		k = cfg.Datasets
+	}
+	// The overlapping hot-region shape: two tight query clusters and a
+	// heavy-hitter combination drawing 70% of the traffic — many users
+	// revisiting the same hot sky regions over the same dataset bundle.
+	w, err := workload.Generate(workload.Config{
+		Seed: wcfg.Seed, NumQueries: wcfg.Queries, NumDatasets: cfg.Datasets,
+		DatasetsPerQuery: k, QueryVolumeFrac: wcfg.QueryVolumeFrac,
+		RangeDist: workload.RangeClustered, CombDist: workload.CombHeavyHitter,
+		ClusterCenters: 2, SigmaFactor: 0.25, HeavyHitterShare: 0.7,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	data := datagen.GenerateDatasets(datagen.Config{
+		Seed: cfg.DataSeed, NumObjects: cfg.ObjectsPerDataset,
+		Bounds: cfg.Bounds, Layout: cfg.DataLayout,
+	}, cfg.Datasets)
+	policy, err := bench.PlacementByName(cfg.Placement)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("scan-sharing comparison: %d datasets x %d objects, %d queries, %d workers, realtime x%g\n",
+		cfg.Datasets, cfg.ObjectsPerDataset, wcfg.Queries, workers, scale)
+	fmt.Printf("storage: %d device(s) x %d channel(s), placement %s; async maintenance: %v; batch window (sharing mode): %v\n\n",
+		cfg.Devices, cfg.Channels, cfg.Placement, async, batchWindow)
+
+	runMode := func(shareOn bool) (sharingModeReport, map[int]uint64) {
+		ex, err := odyssey.NewExplorer(odyssey.Options{
+			Bounds: cfg.Bounds, Cost: cfg.Cost, CachePages: cfg.CachePages,
+			DropCachesPerQuery: true, // pooled miss-heavy serving: every query pays platter time
+			Devices:            cfg.Devices, Channels: cfg.Channels, Placement: policy,
+			AsyncMaintenance: async, MaintenanceWorkers: maintWorkers,
+			ShareScans: shareOn,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer func() {
+			if err := ex.Close(); err != nil {
+				fatalf("close: %v", err)
+			}
+		}()
+		for i, objs := range data {
+			if err := ex.AddDataset(odyssey.DatasetID(i), objs); err != nil {
+				fatalf("%v", err)
+			}
+		}
+		// Converge on the instant disk so the measured pass compares
+		// steady-state serving, not leftover reorganization.
+		for pass := 0; pass < 4; pass++ {
+			before := ex.Metrics()
+			for _, q := range w.Queries {
+				if _, err := ex.Query(q.Range, q.Datasets); err != nil {
+					fatalf("converge: %v", err)
+				}
+			}
+			if err := ex.Quiesce(context.Background()); err != nil {
+				fatalf("quiesce: %v", err)
+			}
+			after := ex.Metrics()
+			if after.Refinements == before.Refinements &&
+				after.PartitionsMerged == before.PartitionsMerged &&
+				after.MergeEvictions == before.MergeEvictions {
+				break
+			}
+		}
+		ex.ResetClock()
+		ex.ResetStats()          // device counters (pages read, coalesced) restart at zero
+		ss0 := ex.SharingStats() // engine-side sharing counters are lifetime; delta below
+		ex.SetRealTimeScale(scale)
+
+		adm := odyssey.AdmissionConfig{}
+		if shareOn {
+			adm.BatchWindow = batchWindow
+		}
+		d := odyssey.NewDispatcherWithAdmission(ex, workers, adm)
+		out := make(chan odyssey.BatchResult, len(w.Queries))
+		t0 := time.Now()
+		for i, q := range w.Queries {
+			if err := d.Submit(i, q, out); err != nil {
+				fatalf("submit: %v", err)
+			}
+		}
+		d.Close()
+		wall := time.Since(t0)
+		close(out)
+		// Per-query result fingerprints, order-independent: sharing may
+		// change I/O, never answers.
+		prints := make(map[int]uint64, len(w.Queries))
+		for r := range out {
+			if r.Err != nil {
+				fatalf("worker %d query %d: %v", r.Worker, r.Index, r.Err)
+			}
+			prints[r.Index] = fingerprint(r.Objects)
+		}
+		if err := ex.Quiesce(context.Background()); err != nil {
+			fatalf("quiesce: %v", err)
+		}
+		sim := ex.Clock()
+		ds := ex.DiskStats()
+		ss := ex.SharingStats()
+		ss.AttachedScans -= ss0.AttachedScans
+		ss.SharedBuilds -= ss0.SharedBuilds
+		ss.Invalidations -= ss0.Invalidations
+		ast := d.AdmissionStats()
+		rep := sharingModeReport{
+			Share:          shareOn,
+			WallSeconds:    wall.Seconds(),
+			SimSeconds:     sim.Seconds(),
+			PagesRead:      ds.PageReads,
+			CacheHits:      ds.CacheHits,
+			CoalescedReads: ss.CoalescedReads,
+			PagesSaved:     ss.PagesSaved,
+			AttachedScans:  ss.AttachedScans,
+			SharedBuilds:   ss.SharedBuilds,
+			Invalidations:  ss.Invalidations,
+			Batches:        ast.Batches,
+			BatchedQueries: ast.BatchedQueries,
+		}
+		name := "share-off"
+		if shareOn {
+			name = "share-on"
+		}
+		fmt.Printf("%-9s %8.3fs wall  %8.3fs simulated  %8d pages read  %6d cache hits\n",
+			name, rep.WallSeconds, rep.SimSeconds, rep.PagesRead, rep.CacheHits)
+		if shareOn {
+			fmt.Printf("          sharing: %d coalesced reads (%d pages saved), %d attached scans, %d shared builds, %d batches/%d batched\n",
+				ss.CoalescedReads, ss.PagesSaved, ss.AttachedScans, ss.SharedBuilds, ast.Batches, ast.BatchedQueries)
+		}
+		return rep, prints
+	}
+
+	offRep, offPrints := runMode(false)
+	onRep, onPrints := runMode(true)
+
+	identical := len(offPrints) == len(onPrints)
+	for i, fp := range offPrints {
+		if onPrints[i] != fp {
+			identical = false
+			break
+		}
+	}
+	report := sharingReport{
+		Experiment: "scan-sharing",
+		Devices:    cfg.Devices, Channels: cfg.Channels, Placement: cfg.Placement,
+		Workers: workers, Queries: len(w.Queries), RealtimeScale: scale,
+		Async: async, BatchWindowMS: float64(batchWindow) / float64(time.Millisecond),
+		Off: offRep, On: onRep,
+		ResultsIdentical: identical,
+	}
+	if offRep.PagesRead > 0 {
+		report.PagesReadReduction = 1 - float64(onRep.PagesRead)/float64(offRep.PagesRead)
+	}
+	if onRep.SimSeconds > 0 {
+		report.SimSpeedupOffOverOn = offRep.SimSeconds / onRep.SimSeconds
+	}
+	fmt.Printf("\npages read: %d -> %d (%.1f%% fewer)  simulated: %.3fs -> %.3fs (%.2fx)  results identical: %v\n",
+		offRep.PagesRead, onRep.PagesRead, 100*report.PagesReadReduction,
+		offRep.SimSeconds, onRep.SimSeconds, report.SimSpeedupOffOverOn, identical)
+	if !identical {
+		fatalf("sharing changed query results — the oracle contract is broken")
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("(wrote %s)\n", jsonPath)
+	}
+}
+
+// fingerprint hashes a result multiset order-independently: per object an
+// FNV-1a hash of its identity and geometry, combined by addition so
+// delivery order is irrelevant.
+func fingerprint(objs []odyssey.Object) uint64 {
+	var sum uint64
+	for _, o := range objs {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d/%d/%v/%v", o.Dataset, o.ID, o.Center, o.HalfExtent)
+		sum += h.Sum64()
+	}
+	return sum
+}
+
+// sharingModeReport is one mode's measured behaviour in the -share
+// comparison.
+type sharingModeReport struct {
+	Share          bool    `json:"share"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	SimSeconds     float64 `json:"sim_seconds"`
+	PagesRead      int64   `json:"pages_read"`
+	CacheHits      int64   `json:"cache_hits"`
+	CoalescedReads int64   `json:"coalesced_reads"`
+	PagesSaved     int64   `json:"pages_saved"`
+	AttachedScans  int64   `json:"attached_scans"`
+	SharedBuilds   int64   `json:"shared_builds"`
+	Invalidations  int64   `json:"invalidations"`
+	Batches        int64   `json:"batches"`
+	BatchedQueries int64   `json:"batched_queries"`
+}
+
+// sharingReport is the machine-readable form of the -share comparison
+// (BENCH_sharing.json).
+type sharingReport struct {
+	Experiment          string            `json:"experiment"`
+	Devices             int               `json:"devices"`
+	Channels            int               `json:"channels"`
+	Placement           string            `json:"placement"`
+	Workers             int               `json:"workers"`
+	Queries             int               `json:"queries"`
+	RealtimeScale       float64           `json:"realtime_scale"`
+	Async               bool              `json:"async"`
+	BatchWindowMS       float64           `json:"batch_window_ms"`
+	Off                 sharingModeReport `json:"off"`
+	On                  sharingModeReport `json:"on"`
+	PagesReadReduction  float64           `json:"pages_read_reduction"`
+	SimSpeedupOffOverOn float64           `json:"sim_speedup_off_over_on"`
+	ResultsIdentical    bool              `json:"results_identical"`
 }
 
 // asyncModeReport is one maintenance mode's measured behaviour.

@@ -3,7 +3,10 @@ package odyssey
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -106,7 +109,25 @@ type AdmissionConfig struct {
 	// failing with ErrOverloaded. 0 means fail immediately (pure fast-fail).
 	// Only meaningful with MaxInFlight > 0.
 	QueueWait time.Duration
+	// BatchWindow, when positive, turns on micro-batching: admitted queries
+	// are staged for up to this long and released to the worker pool
+	// grouped by dataset combination and query locality (a coarse spatial
+	// cell of the query center), so concurrent workers pull overlapping
+	// work the scan-sharing layers (Options.ShareScans) can coalesce into
+	// single-flight reads. The window adds up to ~2x its length to queue
+	// wait (it buys coalesced I/O with a little latency); 0 (the default)
+	// dispatches every submission immediately. Staging never blocks, and
+	// the stage is bounded: with MaxInFlight set admission caps it, and
+	// without admission it holds at most batchStageCap jobs — beyond that,
+	// submissions bypass the stage and take the direct dispatch path with
+	// its ordinary blocking backpressure (they lose grouping, not safety).
+	BatchWindow time.Duration
 }
+
+// batchStageCap bounds the micro-batcher's stage when no admission cap
+// does: a flush stalled on a saturated pool must shed overflow submissions
+// to the blocking direct path instead of buffering an unbounded backlog.
+const batchStageCap = 4096
 
 // AdmissionStats counts the admission controller's decisions and outcomes.
 type AdmissionStats struct {
@@ -132,6 +153,13 @@ type AdmissionStats struct {
 	// Failed is how many admitted queries ended in a non-cancellation error
 	// (e.g. an unknown dataset).
 	Failed int64
+	// Batches and BatchedQueries count the micro-batcher's activity
+	// (AdmissionConfig.BatchWindow): how many distinct coalescible groups
+	// (same combination, same coarse query cell) the flushes released to
+	// the pool, and how many queries went through the stage. Zero with
+	// batching off.
+	Batches        int64
+	BatchedQueries int64
 }
 
 // Dispatcher is a bounded worker pool serving queries against one Explorer,
@@ -164,6 +192,18 @@ type Dispatcher struct {
 	sendMu  sync.RWMutex
 	closed  bool
 	closing sync.Once
+
+	// Micro-batching (AdmissionConfig.BatchWindow): admitted jobs are
+	// staged in batchBuf (guarded by batchMu) and a dedicated batcher
+	// goroutine flushes them every window, grouped by combination and
+	// query locality, into the jobs channel. batchStop/batchDone bound the
+	// batcher's lifetime inside Close, before the jobs channel closes.
+	batchMu   sync.Mutex
+	batchBuf  []dispatchJob
+	batchStop chan struct{}
+	batchDone chan struct{}
+	batches   atomic.Int64
+	batched   atomic.Int64
 }
 
 type dispatchJob struct {
@@ -210,6 +250,11 @@ func NewDispatcherWithAdmission(ex *Explorer, workers int, cfg AdmissionConfig) 
 	if cfg.MaxInFlight > 0 {
 		d.slots = make(chan struct{}, cfg.MaxInFlight)
 	}
+	if cfg.BatchWindow > 0 {
+		d.batchStop = make(chan struct{})
+		d.batchDone = make(chan struct{})
+		go d.batcher()
+	}
 	for w := 0; w < workers; w++ {
 		d.wg.Add(1)
 		go d.worker(w)
@@ -225,12 +270,14 @@ func (d *Dispatcher) Workers() int { return len(d.stats) }
 // instantaneous cross-counter cut; after Close it is exact.
 func (d *Dispatcher) AdmissionStats() AdmissionStats {
 	return AdmissionStats{
-		Admitted:  d.admitted.Load(),
-		Rejected:  d.rejected.Load(),
-		Canceled:  d.canceled.Load(),
-		Swept:     d.swept.Load(),
-		Completed: d.completed.Load(),
-		Failed:    d.failed.Load(),
+		Admitted:       d.admitted.Load(),
+		Rejected:       d.rejected.Load(),
+		Canceled:       d.canceled.Load(),
+		Swept:          d.swept.Load(),
+		Completed:      d.completed.Load(),
+		Failed:         d.failed.Load(),
+		Batches:        d.batches.Load(),
+		BatchedQueries: d.batched.Load(),
 	}
 }
 
@@ -318,7 +365,28 @@ func (d *Dispatcher) SubmitCtx(ctx context.Context, index int, q Query, out chan
 		d.releaseSlot()
 		return ErrClosed
 	}
-	if d.slots != nil {
+	staged := false
+	if d.batchStop != nil {
+		// Micro-batching: stage the job for the batcher to flush grouped
+		// with its neighbours. Staging never blocks, so it can never stall
+		// a concurrent Close from here — and it is bounded: admission caps
+		// it when configured, batchStageCap otherwise. Overflow falls
+		// through to the direct dispatch path below, whose blocking send
+		// is the documented backpressure.
+		d.batchMu.Lock()
+		if d.slots != nil || len(d.batchBuf) < batchStageCap {
+			d.batchBuf = append(d.batchBuf, job)
+			staged = true
+		}
+		d.batchMu.Unlock()
+		if staged {
+			d.batched.Add(1)
+		}
+	}
+	switch {
+	case staged:
+		// Already on its way to the pool via the batcher's next flush.
+	case d.slots != nil:
 		// With admission on, the queue is sized for MaxInFlight live jobs —
 		// but swept jobs keep their queue entries until a worker discards
 		// them, so under a backlog of zombies the send could block while
@@ -337,7 +405,7 @@ func (d *Dispatcher) SubmitCtx(ctx context.Context, index int, q Query, out chan
 			d.rejected.Add(1)
 			return ErrOverloaded
 		}
-	} else {
+	default:
 		// Without admission the send may block — that is the documented
 		// blocking backpressure — but cancellation still abandons the wait
 		// (the channel cannot be closed underneath the select: Close needs
@@ -362,6 +430,92 @@ func (d *Dispatcher) SubmitCtx(ctx context.Context, index int, q Query, out chan
 	}
 	d.sendMu.RUnlock()
 	return nil
+}
+
+// batcher drains the micro-batching stage every BatchWindow, releasing the
+// staged jobs to the worker pool grouped by dataset combination and query
+// locality — so workers executing concurrently hold overlapping work the
+// scan-sharing layers can coalesce. On stop it flushes whatever is staged
+// before signalling done, which is why Close stops the batcher before
+// closing the jobs channel.
+func (d *Dispatcher) batcher() {
+	defer close(d.batchDone)
+	ticker := time.NewTicker(d.cfg.BatchWindow)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			d.flushBatch()
+		case <-d.batchStop:
+			d.flushBatch()
+			return
+		}
+	}
+}
+
+// batchGroupKey orders staged jobs so that queries over the same dataset
+// combination — and within a combination, the same coarse spatial cell —
+// dispatch adjacently. The cell grid is 8^3 over the Explorer's bounds:
+// coarse enough that a hot region's queries group, fine enough that distant
+// queries do not.
+func (d *Dispatcher) batchGroupKey(q Query) string {
+	b := d.ex.opts.Bounds
+	c := q.Range.Center()
+	sz := b.Size()
+	cell := func(lo, span, v float64) int {
+		if span <= 0 {
+			return 0
+		}
+		i := int(8 * (v - lo) / span)
+		if i < 0 {
+			i = 0
+		}
+		if i > 7 {
+			i = 7
+		}
+		return i
+	}
+	dss := append([]DatasetID(nil), q.Datasets...)
+	sort.Slice(dss, func(i, j int) bool { return dss[i] < dss[j] })
+	var sb strings.Builder
+	for _, ds := range dss {
+		fmt.Fprintf(&sb, "%d,", ds)
+	}
+	fmt.Fprintf(&sb, "|%d.%d.%d",
+		cell(b.Min.X, sz.X, c.X), cell(b.Min.Y, sz.Y, c.Y), cell(b.Min.Z, sz.Z, c.Z))
+	return sb.String()
+}
+
+// flushBatch groups and forwards every staged job. The sends may block on a
+// full jobs queue — the batcher holds no locks here, and the workers drain
+// the queue, so the stall is bounded by pool throughput.
+func (d *Dispatcher) flushBatch() {
+	d.batchMu.Lock()
+	staged := d.batchBuf
+	d.batchBuf = nil
+	d.batchMu.Unlock()
+	if len(staged) == 0 {
+		return
+	}
+	keys := make([]string, len(staged))
+	order := make([]int, len(staged))
+	for i := range staged {
+		keys[i] = d.batchGroupKey(staged[i].query)
+		order[i] = i
+	}
+	// Stable by group key: same-combination, same-cell queries become
+	// adjacent while arrival order within a group is preserved.
+	sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	groups := int64(1)
+	for i := 1; i < len(order); i++ {
+		if keys[order[i]] != keys[order[i-1]] {
+			groups++
+		}
+	}
+	d.batches.Add(groups)
+	for _, i := range order {
+		d.jobs <- staged[i]
+	}
 }
 
 // sweep watches one queued job's context. If the context dies before a
@@ -415,6 +569,13 @@ func (d *Dispatcher) Close() {
 		d.sendMu.Lock()
 		d.closed = true
 		d.sendMu.Unlock()
+		// Stop the micro-batcher first: it flushes the stage into the jobs
+		// channel on its way out, and only then is the channel safe to
+		// close (no Submit can stage anymore — the closed flag is set).
+		if d.batchStop != nil {
+			close(d.batchStop)
+			<-d.batchDone
+		}
 		close(d.jobs)
 	})
 	d.wg.Wait()

@@ -90,6 +90,41 @@ type Options struct {
 	// MaintenanceWorkers bounds the background scheduler's pool (<= 0
 	// defaults to 2). Only meaningful with AsyncMaintenance.
 	MaintenanceWorkers int
+	// ShareScans turns on work sharing across concurrent queries through
+	// the whole serving stack: overlapping run reads on the simulated disk
+	// coalesce into one charged single-flight device read, queries attach
+	// to in-flight partition scans of the same (dataset, cell) within a
+	// layout epoch instead of re-walking the octree, and a cold dataset's
+	// level-0 first-touch build is single-flight per dataset (one builder,
+	// no thundering herd). Query results are unchanged — only redundant
+	// physical work is removed; see SharingStats for the ledger. Default
+	// off: every query pays its own I/O, and single-worker behaviour is
+	// bit-for-bit the original model.
+	ShareScans bool
+}
+
+// SharingStats is the scan-sharing ledger (Options.ShareScans): what the
+// serving stack saved by coalescing concurrent work. All zeros with sharing
+// off.
+type SharingStats struct {
+	// CoalescedReads counts device run reads answered by attaching to an
+	// overlapping in-flight read on the same file (one physical read, many
+	// logical answers).
+	CoalescedReads int64
+	// PagesSaved is the pages those attached reads did not re-read — the
+	// device-level I/O the sharing layer removed.
+	PagesSaved int64
+	// AttachedScans counts partition scans served from the engine's
+	// in-flight scan registry: a whole (dataset, cell) read another query
+	// was already performing.
+	AttachedScans int64
+	// SharedBuilds counts queries that waited out another query's level-0
+	// first-touch build instead of herding on the tree lock.
+	SharedBuilds int64
+	// Invalidations counts registry flushes on layout publishes
+	// (refinement, merge, eviction) — the epoch guard that keeps shared
+	// results inside one layout epoch.
+	Invalidations int64
 }
 
 // Topology describes the storage layout an Explorer runs on.
@@ -126,6 +161,7 @@ func (o Options) engineConfig() core.Config {
 	cfg.DisableMerging = o.DisableMerging
 	cfg.AsyncMaintenance = o.AsyncMaintenance
 	cfg.MaintenanceWorkers = o.MaintenanceWorkers
+	cfg.ShareScans = o.ShareScans
 	return cfg
 }
 
@@ -278,8 +314,9 @@ func (e *Explorer) QueryCtx(ctx context.Context, q Box, datasets []DatasetID) ([
 // single-device single-channel topology: with Channels or Devices > 1 the
 // clock is a critical-path max, so a query whose I/O lands on a channel
 // still shadowed by an earlier query's busier channel reports a smaller
-// delta (down to ~0) — per-query attribution across channels is a known
-// follow-up (see ROADMAP); use the per-channel ChannelStats for exact
+// delta (down to ~0). TimingsApproximate reports whether this caveat is in
+// effect — callers that need exact attribution should check it instead of
+// trusting the duration, and use the per-channel ChannelStats for exact
 // charged time.
 func (e *Explorer) QueryTimed(q Box, datasets []DatasetID) ([]Object, time.Duration, error) {
 	return e.QueryTimedCtx(context.Background(), q, datasets)
@@ -342,6 +379,12 @@ func (e *Explorer) SetRealTimeScale(scale float64) { e.dev.SetRealTimeScale(scal
 // DiskStats returns the simulated device counters, summed across all
 // member devices of the storage topology.
 func (e *Explorer) DiskStats() DiskStats { return e.dev.Stats() }
+
+// ResetStats zeroes the simulated device counters across every member
+// device and channel, so a measurement harness can count a phase from zero
+// (the clock is reset separately; see ResetClock). Must not be called
+// concurrently with in-flight queries whose statistics matter.
+func (e *Explorer) ResetStats() { e.dev.ResetStats() }
 
 // Topology reports the storage layout: device count, channels per device
 // and the placement policy in effect.
@@ -444,6 +487,32 @@ func (e *Explorer) MaintenanceStats() MaintenanceStats {
 // (nil when every task succeeded or AsyncMaintenance is off). A failed task
 // leaves the layout consistent but unconverged in its region.
 func (e *Explorer) MaintenanceErr() error { return e.engine.MaintenanceErr() }
+
+// SharingStats returns the scan-sharing ledger: the device layer's
+// coalesced single-flight reads plus the engine layer's attached scans and
+// shared builds. All zeros when Options.ShareScans is off.
+func (e *Explorer) SharingStats() SharingStats {
+	ds := e.dev.Stats()
+	es := e.engine.SharingStats()
+	return SharingStats{
+		CoalescedReads: ds.CoalescedReads,
+		PagesSaved:     ds.CoalescedPages,
+		AttachedScans:  es.AttachedScans,
+		SharedBuilds:   es.SharedBuilds,
+		Invalidations:  es.Invalidations,
+	}
+}
+
+// TimingsApproximate reports whether per-query simulated timings
+// (QueryTimed) and the engine's PhaseTimes are approximate on this
+// Explorer's storage topology. With more than one channel or device
+// (C·D > 1) the simulated clock is a critical-path max, so clock deltas
+// under-report I/O shadowed by a busier channel; QueryTimed durations and
+// phase attributions are then lower bounds, not exact charges. On the
+// default 1x1 topology timings are exact and this returns false.
+func (e *Explorer) TimingsApproximate() bool {
+	return e.dev.NumDevices()*e.dev.NumChannels() > 1
+}
 
 // Close shuts the Explorer down: new queries and dataset registrations
 // fail fast with ErrClosed, in-flight queries are waited out, the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"container/heap"
 	"context"
 	"sync"
 
@@ -59,6 +60,47 @@ type mergeTask struct {
 	members []object.DatasetID
 }
 
+// heatItem is one queued maintenance task with its scheduling state: heat
+// is the region's access count (1 for the demanding query plus one per
+// coalesced duplicate demand), seq breaks heat ties FIFO. The maintenance
+// queues are max-heaps on (heat, -seq), so the hottest region's work runs
+// first — under backlog, the partitions concurrent traffic keeps hitting
+// converge before cold stragglers.
+type heatItem[T any] struct {
+	task  T
+	heat  int64
+	seq   int64
+	index int // position in its heap, maintained by the heap interface
+}
+
+// heatHeap is a max-heap of maintenance tasks by (heat, FIFO).
+type heatHeap[T any] []*heatItem[T]
+
+func (h heatHeap[T]) Len() int { return len(h) }
+func (h heatHeap[T]) Less(i, j int) bool {
+	if h[i].heat != h[j].heat {
+		return h[i].heat > h[j].heat
+	}
+	return h[i].seq < h[j].seq
+}
+func (h heatHeap[T]) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *heatHeap[T]) Push(x any) {
+	it := x.(*heatItem[T])
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *heatHeap[T]) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
 // maintainer is the background maintenance scheduler behind
 // Config.AsyncMaintenance: queries enqueue coalescing refinement and merge
 // tasks instead of mutating the layout inline, and a bounded worker pool
@@ -82,14 +124,15 @@ type maintainer struct {
 	closed bool
 	paused bool // tests freeze the pipeline to observe queue state
 
-	refineQ       map[object.DatasetID][]refineTask
-	refinePending map[object.DatasetID]map[octree.Key]bool
+	refineQ       map[object.DatasetID]*heatHeap[refineTask]
+	refinePending map[object.DatasetID]map[octree.Key]*heatItem[refineTask]
 	activeRefine  map[object.DatasetID]bool
 
-	mergeQ       []mergeTask
-	mergePending map[ComboKey]bool
+	mergeQ       heatHeap[mergeTask]
+	mergePending map[ComboKey]*heatItem[mergeTask]
 	activeMerge  map[ComboKey]bool
 
+	seq      int64 // FIFO tiebreak for equal-heat tasks
 	queueLen int
 	inFlight int
 	stats    MaintenanceStats
@@ -112,10 +155,10 @@ func newMaintainer(o *Odyssey, workers int) *maintainer {
 	m := &maintainer{
 		o:             o,
 		workers:       workers,
-		refineQ:       make(map[object.DatasetID][]refineTask),
-		refinePending: make(map[object.DatasetID]map[octree.Key]bool),
+		refineQ:       make(map[object.DatasetID]*heatHeap[refineTask]),
+		refinePending: make(map[object.DatasetID]map[octree.Key]*heatItem[refineTask]),
 		activeRefine:  make(map[object.DatasetID]bool),
-		mergePending:  make(map[ComboKey]bool),
+		mergePending:  make(map[ComboKey]*heatItem[mergeTask]),
 		activeMerge:   make(map[ComboKey]bool),
 		idleNow:       true,
 		idle:          make(chan struct{}),
@@ -152,10 +195,12 @@ func (m *maintainer) maybeIdleLocked() {
 }
 
 // EnqueueRefine schedules the given partitions of one dataset for
-// background refinement, coalescing keys that already have a task pending.
-// box and qVol describe the query that demanded the refinement (the worker
-// refines the region to convergence for that demand); members is that
-// query's combination, for the worker's merge-coverage re-check.
+// background refinement, coalescing keys that already have a task pending —
+// a coalesced demand bumps the pending task's heat, moving the region up
+// the priority heap. box and qVol describe the query that demanded the
+// refinement (the worker refines the region to convergence for that
+// demand); members is that query's combination, for the worker's
+// merge-coverage re-check.
 func (m *maintainer) EnqueueRefine(ds object.DatasetID, keys []octree.Key, box geom.Box, qVol float64, members []object.DatasetID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -164,22 +209,32 @@ func (m *maintainer) EnqueueRefine(ds object.DatasetID, keys []octree.Key, box g
 	}
 	pend := m.refinePending[ds]
 	if pend == nil {
-		pend = make(map[octree.Key]bool)
+		pend = make(map[octree.Key]*heatItem[refineTask])
 		m.refinePending[ds] = pend
+	}
+	h := m.refineQ[ds]
+	if h == nil {
+		h = &heatHeap[refineTask]{}
+		m.refineQ[ds] = h
 	}
 	// Defensive copy, like EnqueueMerge: the tasks outlive the call and a
 	// caller reusing its slice must not corrupt the coverage re-check.
 	members = append([]object.DatasetID(nil), members...)
 	added := false
 	for _, k := range keys {
-		if pend[k] {
+		if it := pend[k]; it != nil {
 			m.stats.Coalesced++
+			it.heat++
+			heap.Fix(h, it.index)
 			continue
 		}
-		pend[k] = true
-		m.refineQ[ds] = append(m.refineQ[ds], refineTask{
-			key: k, box: box, qVol: qVol, members: members,
-		})
+		m.seq++
+		it := &heatItem[refineTask]{
+			task: refineTask{key: k, box: box, qVol: qVol, members: members},
+			heat: 1, seq: m.seq,
+		}
+		pend[k] = it
+		heap.Push(h, it)
 		m.noteWorkLocked()
 		added = true
 	}
@@ -188,23 +243,27 @@ func (m *maintainer) EnqueueRefine(ds object.DatasetID, keys []octree.Key, box g
 	}
 }
 
-// EnqueueMerge schedules one combination's merge step, coalescing with a
-// pending task for the same combination.
+// EnqueueMerge schedules one combination's merge step, coalescing with (and
+// heating up) a pending task for the same combination.
 func (m *maintainer) EnqueueMerge(key ComboKey, members []object.DatasetID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return
 	}
-	if m.mergePending[key] {
+	if it := m.mergePending[key]; it != nil {
 		m.stats.Coalesced++
+		it.heat++
+		heap.Fix(&m.mergeQ, it.index)
 		return
 	}
-	m.mergePending[key] = true
-	m.mergeQ = append(m.mergeQ, mergeTask{
-		key:     key,
-		members: append([]object.DatasetID(nil), members...),
-	})
+	m.seq++
+	it := &heatItem[mergeTask]{
+		task: mergeTask{key: key, members: append([]object.DatasetID(nil), members...)},
+		heat: 1, seq: m.seq,
+	}
+	m.mergePending[key] = it
+	heap.Push(&m.mergeQ, it)
 	m.noteWorkLocked()
 	m.cond.Broadcast()
 }
@@ -222,43 +281,62 @@ type execTask struct {
 // stage ordered after refinement.
 func (m *maintainer) membersBusyLocked(members []object.DatasetID) bool {
 	for _, ds := range members {
-		if m.activeRefine[ds] || len(m.refineQ[ds]) > 0 {
+		if m.activeRefine[ds] || (m.refineQ[ds] != nil && m.refineQ[ds].Len() > 0) {
 			return true
 		}
 	}
 	return false
 }
 
-// pickLocked claims the next runnable task: any dataset's refinement first
-// (one writer per dataset — a dataset with an active task is skipped, but
-// different datasets refine concurrently), then any merge whose combination
-// is single-flight and whose members are refinement-quiescent.
+// pickLocked claims the next runnable task, hottest region first: among the
+// datasets without an active refinement (one writer per dataset — but
+// different datasets refine concurrently), the one whose top task has the
+// highest access count wins; then the hottest merge whose combination is
+// single-flight and whose members are refinement-quiescent. Heat-ties break
+// FIFO, so the priority queue degrades to the old arrival order when every
+// region is equally hot.
 func (m *maintainer) pickLocked() (execTask, bool) {
 	if m.paused {
 		return execTask{}, false
 	}
-	for ds, q := range m.refineQ {
-		if len(q) == 0 || m.activeRefine[ds] {
+	var bestDS object.DatasetID
+	var bestH *heatHeap[refineTask]
+	for ds, h := range m.refineQ {
+		if h.Len() == 0 || m.activeRefine[ds] {
 			continue
 		}
-		t := q[0]
-		m.refineQ[ds] = q[1:]
-		delete(m.refinePending[ds], t.key)
-		m.activeRefine[ds] = true
-		m.queueLen--
-		m.stats.QueueDepth = m.queueLen
-		return execTask{ds: ds, refine: t}, true
+		top := (*h)[0]
+		if bestH == nil || top.heat > (*bestH)[0].heat ||
+			(top.heat == (*bestH)[0].heat && top.seq < (*bestH)[0].seq) {
+			bestDS, bestH = ds, h
+		}
 	}
-	for i, mt := range m.mergeQ {
-		if m.activeMerge[mt.key] || m.membersBusyLocked(mt.members) {
-			continue
-		}
-		m.mergeQ = append(m.mergeQ[:i], m.mergeQ[i+1:]...)
-		delete(m.mergePending, mt.key)
-		m.activeMerge[mt.key] = true
+	if bestH != nil {
+		it := heap.Pop(bestH).(*heatItem[refineTask])
+		delete(m.refinePending[bestDS], it.task.key)
+		m.activeRefine[bestDS] = true
 		m.queueLen--
 		m.stats.QueueDepth = m.queueLen
-		return execTask{isMerge: true, merge: mt}, true
+		return execTask{ds: bestDS, refine: it.task}, true
+	}
+	// The heap orders merges by heat, but gating (active members, pending
+	// refinements) can veto the top — scan for the hottest runnable one.
+	var best *heatItem[mergeTask]
+	for _, it := range m.mergeQ {
+		if m.activeMerge[it.task.key] || m.membersBusyLocked(it.task.members) {
+			continue
+		}
+		if best == nil || it.heat > best.heat || (it.heat == best.heat && it.seq < best.seq) {
+			best = it
+		}
+	}
+	if best != nil {
+		heap.Remove(&m.mergeQ, best.index)
+		delete(m.mergePending, best.task.key)
+		m.activeMerge[best.task.key] = true
+		m.queueLen--
+		m.stats.QueueDepth = m.queueLen
+		return execTask{isMerge: true, merge: best.task}, true
 	}
 	return execTask{}, false
 }
@@ -370,10 +448,10 @@ func (m *maintainer) Close() {
 		m.stats.Dropped += int64(m.queueLen)
 		m.queueLen = 0
 		m.stats.QueueDepth = 0
-		m.refineQ = make(map[object.DatasetID][]refineTask)
-		m.refinePending = make(map[object.DatasetID]map[octree.Key]bool)
+		m.refineQ = make(map[object.DatasetID]*heatHeap[refineTask])
+		m.refinePending = make(map[object.DatasetID]map[octree.Key]*heatItem[refineTask])
 		m.mergeQ = nil
-		m.mergePending = make(map[ComboKey]bool)
+		m.mergePending = make(map[ComboKey]*heatItem[mergeTask])
 		m.paused = false // a paused pipeline must still wind down
 		m.maybeIdleLocked()
 		m.cond.Broadcast()

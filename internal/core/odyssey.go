@@ -35,6 +35,14 @@ type Config struct {
 	// MaintenanceWorkers bounds the background scheduler's worker pool
 	// (<= 0 defaults to 2). Only meaningful with AsyncMaintenance.
 	MaintenanceWorkers int
+	// ShareScans turns on work sharing across concurrent queries: the
+	// storage layer coalesces overlapping run reads into single-flight
+	// device reads, the engine attaches queries to in-flight partition
+	// scans of the same (dataset, cell) within a layout epoch, and level-0
+	// first-touch builds are single-flight per dataset. Results are
+	// unchanged — only the redundant physical work is. Default off: every
+	// query pays its own I/O, the original cost model bit for bit.
+	ShareScans bool
 }
 
 // DefaultConfig returns the paper's configuration: rt=4, ppl=64, mt=2,
@@ -65,6 +73,13 @@ type PhaseTimes struct {
 	MergeReads time.Duration
 	// MergeWrites is the Merger's copy I/O (reads of originals included).
 	MergeWrites time.Duration
+	// Approximate is set when the engine runs on a multi-channel or
+	// multi-device topology (C·D > 1): the simulated clock is then a
+	// critical-path max, so the phase deltas above under-report work
+	// shadowed by a busier channel. With Approximate set, treat the phases
+	// as relative diagnostics, not exact attributions; per-channel
+	// ChannelStats carry the exact charged time.
+	Approximate bool
 }
 
 // Total sums all phases.
@@ -123,6 +138,14 @@ type Odyssey struct {
 	// maint is the background maintenance scheduler; nil unless
 	// Config.AsyncMaintenance is set. See maintenance.go.
 	maint *maintainer
+
+	// scans is the in-flight scan-sharing registry; nil unless
+	// Config.ShareScans is set. buildMu/building single-flight the level-0
+	// first-touch builds (one builder per dataset, waiters block on the
+	// channel instead of herding on the tree lock). See scanshare.go.
+	scans    *scanRegistry
+	buildMu  sync.Mutex
+	building map[object.DatasetID]chan struct{}
 
 	// layoutEpoch counts physical-layout changes: level-0 builds,
 	// refinements (query- and merge-time) and merge-file evictions. The
@@ -186,6 +209,14 @@ func New(dev simdisk.Storage, raws []*rawfile.Raw, bounds geom.Box, cfg Config) 
 	o.merger.PlaceGroup = func(members []object.DatasetID) string {
 		return rawfile.GroupName(o.hottestMember(members))
 	}
+	if cfg.ShareScans {
+		o.scans = newScanRegistry()
+		o.building = make(map[object.DatasetID]chan struct{})
+		dev.SetShareReads(true)
+		for ds, tree := range trees {
+			tree.ShareReader = o.shareReaderFor(ds, tree)
+		}
+	}
 	if cfg.AsyncMaintenance {
 		o.maint = newMaintainer(o, cfg.MaintenanceWorkers)
 	}
@@ -225,6 +256,9 @@ func (o *Odyssey) AddRaw(raw *rawfile.Raw) error {
 	tree, err := octree.New(o.dev, raw, o.bounds, o.cfg.Octree)
 	if err != nil {
 		return err
+	}
+	if o.scans != nil {
+		tree.ShareReader = o.shareReaderFor(raw.Dataset(), tree)
 	}
 	o.trees[raw.Dataset()] = tree
 	o.treeMu[raw.Dataset()] = new(sync.RWMutex)
@@ -339,6 +373,10 @@ func (o *Odyssey) Metrics() Metrics {
 	m.RelationCounts = rel
 	m.Phases = o.phases
 	o.statsMu.Unlock()
+	// Phase attribution is exact only when the clock is a serial sum; on a
+	// multi-channel or multi-device topology it is a critical-path max and
+	// deltas under-report shadowed I/O — flag instead of silently lying.
+	m.Phases.Approximate = o.dev.NumDevices()*o.dev.NumChannels() > 1
 	return m
 }
 
@@ -364,7 +402,7 @@ func (o *Odyssey) queryTree(ctx context.Context, tree *octree.Tree, lk *sync.RWM
 	built := tree.Built()
 	res, err := tree.QueryCtx(ctx, q, hook)
 	if res.Refined > 0 || (!built && tree.Built()) {
-		o.layoutEpoch.Add(1)
+		o.bumpLayoutEpoch()
 	}
 	lk.Unlock()
 	return res, err
@@ -395,7 +433,7 @@ func (o *Odyssey) queryTreeAsync(ctx context.Context, tree *octree.Tree, lk *syn
 	}
 	res.BuildTime += buildTime
 	if !built && tree.Built() {
-		o.layoutEpoch.Add(1)
+		o.bumpLayoutEpoch()
 	}
 	lk.Unlock()
 	return res, err
@@ -473,6 +511,17 @@ func (o *Odyssey) QueryCtx(ctx context.Context, q geom.Box, datasets []object.Da
 	var phases PhaseTimes
 	for _, ds := range ordered {
 		tree := o.trees[ds]
+		if o.scans != nil {
+			// Single-flight the level-0 first touch: one builder per
+			// dataset, concurrent queries wait on the build instead of
+			// herding on the exclusive tree lock.
+			bt, err := o.ensureBuiltShared(ctx, ds, tree, o.treeMu[ds])
+			if err != nil {
+				o.mu.RUnlock()
+				return nil, fmt.Errorf("core: dataset %d: %w", ds, err)
+			}
+			phases.LevelZeroBuild += bt
+		}
 		var hook, covered func(*octree.Partition) bool
 		if mf != nil && mf.memberOf[ds] {
 			ds := ds
@@ -650,7 +699,7 @@ func (o *Odyssey) runMergeStep(key ComboKey, ordered []object.DatasetID) error {
 		// invalidate other combinations' futile marks, or two stuck
 		// combinations would ping-pong exclusive retries forever.
 		if appended > 0 || refAfter != refBefore || len(evicted) > 0 {
-			o.layoutEpoch.Add(1)
+			o.bumpLayoutEpoch()
 		}
 		o.statsMu.Lock()
 		if appended == 0 {
@@ -724,7 +773,7 @@ func (o *Odyssey) runRefineTask(ds object.DatasetID, t refineTask) (int, error) 
 		refined++
 	}
 	if refined > 0 {
-		o.layoutEpoch.Add(1)
+		o.bumpLayoutEpoch()
 	}
 	o.statsMu.Lock()
 	o.phases.Refinement += dt
@@ -808,7 +857,7 @@ func (o *Odyssey) runMergeAsync(key ComboKey, ordered []object.DatasetID) error 
 	dt += o.dev.Clock() - t1
 	if err == nil {
 		if appended > 0 || len(evicted) > 0 {
-			o.layoutEpoch.Add(1)
+			o.bumpLayoutEpoch()
 		}
 		o.statsMu.Lock()
 		if appended == 0 && prepErr == nil {
@@ -838,6 +887,19 @@ func (o *Odyssey) runMergeAsync(key ComboKey, ordered []object.DatasetID) error 
 // AsyncMaintenance reports whether the background maintenance pipeline is
 // on.
 func (o *Odyssey) AsyncMaintenance() bool { return o.maint != nil }
+
+// ShareScans reports whether cross-query work sharing is on.
+func (o *Odyssey) ShareScans() bool { return o.scans != nil }
+
+// SharingStats snapshots the engine-layer scan-sharing counters (all zero
+// when Config.ShareScans is off). The device-layer counters (coalesced run
+// reads, pages saved) are in the storage Stats.
+func (o *Odyssey) SharingStats() SharingStats {
+	if o.scans == nil {
+		return SharingStats{}
+	}
+	return o.scans.Stats()
+}
 
 // MaintenanceStats snapshots the background pipeline's counters (zero when
 // maintenance is synchronous).

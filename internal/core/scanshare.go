@@ -1,0 +1,195 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spaceodyssey/internal/object"
+	"spaceodyssey/internal/octree"
+	"spaceodyssey/internal/simdisk"
+)
+
+// SharingStats counts the engine layer of scan sharing (Config.ShareScans).
+// The device layer's counters (coalesced run reads, pages saved) live in
+// simdisk.Stats; the Explorer combines both views.
+type SharingStats struct {
+	// AttachedScans is how many partition reads were answered by attaching
+	// to another query's in-flight scan of the same (dataset, cell) at the
+	// same layout epoch — walks the engine never re-ran.
+	AttachedScans int64
+	// SharedBuilds is how many queries waited out another query's in-flight
+	// level-0 build instead of herding on the tree's exclusive lock.
+	SharedBuilds int64
+	// Invalidations is how many times a layout publish (refinement, merge,
+	// eviction) flushed the in-flight scan registry.
+	Invalidations int64
+}
+
+// scanKey identifies one in-flight partition scan.
+type scanKey struct {
+	ds   object.DatasetID
+	cell octree.Key
+}
+
+// scanEntry is one registered in-flight partition scan. The leader fills
+// objs/err before closing done; attached readers treat objs as read-only
+// (the engine only ever filters from it — objects are values).
+type scanEntry struct {
+	epoch int64
+	done  chan struct{}
+	objs  []object.Object
+	err   error
+}
+
+// scanRegistry is the engine layer of scan sharing: the first query to read
+// a (dataset, cell) within a layout epoch registers the scan; queries
+// arriving while it is in flight attach to it instead of re-walking the
+// partition, provided the tree's epoch still matches. Entries live only for
+// the duration of the read — this is single-flight, not a cache — and the
+// registry is flushed on every layout publish, so a scan result can never
+// be handed across a refinement or merge (the race-mode oracle contract).
+//
+// Safety: readers hold the engine's shared layout lock and the dataset's
+// shared tree lock for the whole read, and every layout mutation takes one
+// of those exclusively, so an in-flight entry's bytes cannot change under
+// its waiters; the epoch check and publish-time flush are the cross-check
+// that keeps attachment conservative.
+type scanRegistry struct {
+	mu       sync.Mutex
+	inflight map[scanKey]*scanEntry
+
+	attached      atomic.Int64
+	sharedBuilds  atomic.Int64
+	invalidations atomic.Int64
+}
+
+func newScanRegistry() *scanRegistry {
+	return &scanRegistry{inflight: make(map[scanKey]*scanEntry)}
+}
+
+// Invalidate flushes every in-flight entry. Leaders still complete and
+// deliver to already-attached waiters (their reads happened under shared
+// locks that excluded the publisher), but no new reader attaches to a
+// pre-publish scan.
+func (r *scanRegistry) Invalidate() {
+	r.mu.Lock()
+	if len(r.inflight) > 0 {
+		r.inflight = make(map[scanKey]*scanEntry)
+	}
+	r.mu.Unlock()
+	r.invalidations.Add(1)
+}
+
+// readThrough is the single-flight read: attach to a matching in-flight
+// scan, or lead one and fan its result out. read performs the actual
+// partition I/O. epoch is the owning tree's current layout epoch.
+func (r *scanRegistry) readThrough(ctx context.Context, key scanKey, epoch int64,
+	read func(context.Context) ([]object.Object, error)) ([]object.Object, error) {
+	r.mu.Lock()
+	if e, ok := r.inflight[key]; ok && e.epoch == epoch {
+		r.mu.Unlock()
+		if err := simdisk.WaitDone(ctx, e.done); err != nil {
+			return nil, err
+		}
+		if e.err != nil {
+			// The leader failed; its outcome (cancellation, an injected
+			// fault) is not ours. Read independently.
+			return read(ctx)
+		}
+		r.attached.Add(1)
+		return e.objs, nil
+	} else if ok {
+		// An entry from another epoch is still in flight (defensive: the
+		// lock discipline should make this unobservable). Do not attach and
+		// do not displace it — just read directly.
+		r.mu.Unlock()
+		return read(ctx)
+	}
+	e := &scanEntry{epoch: epoch, done: make(chan struct{})}
+	r.inflight[key] = e
+	r.mu.Unlock()
+
+	e.objs, e.err = read(ctx)
+
+	r.mu.Lock()
+	if r.inflight[key] == e {
+		delete(r.inflight, key)
+	}
+	r.mu.Unlock()
+	close(e.done)
+	return e.objs, e.err
+}
+
+// Stats snapshots the registry counters.
+func (r *scanRegistry) Stats() SharingStats {
+	return SharingStats{
+		AttachedScans: r.attached.Load(),
+		SharedBuilds:  r.sharedBuilds.Load(),
+		Invalidations: r.invalidations.Load(),
+	}
+}
+
+// shareReaderFor builds the octree.Tree.ShareReader hook routing one
+// dataset's query-path partition reads through the registry.
+func (o *Odyssey) shareReaderFor(ds object.DatasetID, tree *octree.Tree) func(context.Context, *octree.Partition, func(context.Context) ([]object.Object, error)) ([]object.Object, error) {
+	return func(ctx context.Context, p *octree.Partition, read func(context.Context) ([]object.Object, error)) ([]object.Object, error) {
+		return o.scans.readThrough(ctx, scanKey{ds: ds, cell: p.Key()}, tree.Epoch(), read)
+	}
+}
+
+// bumpLayoutEpoch publishes a layout change: the global epoch advances and
+// the scan registry (when sharing is on) is flushed so no new reader
+// attaches to a pre-publish scan.
+func (o *Odyssey) bumpLayoutEpoch() {
+	o.layoutEpoch.Add(1)
+	if o.scans != nil {
+		o.scans.Invalidate()
+	}
+}
+
+// ensureBuiltShared single-flights a dataset's level-0 first-touch build:
+// one query builds under the exclusive tree lock while every concurrent
+// query of the dataset waits on the build's completion channel instead of
+// queueing on the lock — and then proceeds down its ordinary (shared-lock)
+// read path. Returns the simulated build time this caller charged (zero for
+// waiters). Only called with ShareScans on.
+func (o *Odyssey) ensureBuiltShared(ctx context.Context, ds object.DatasetID,
+	tree *octree.Tree, lk *sync.RWMutex) (time.Duration, error) {
+	for {
+		lk.RLock()
+		built := tree.Built()
+		lk.RUnlock()
+		if built {
+			return 0, nil
+		}
+		o.buildMu.Lock()
+		if ch, ok := o.building[ds]; ok {
+			o.buildMu.Unlock()
+			o.scans.sharedBuilds.Add(1)
+			if err := simdisk.WaitDone(ctx, ch); err != nil {
+				return 0, err
+			}
+			continue // the build may have failed; re-check and maybe lead
+		}
+		ch := make(chan struct{})
+		o.building[ds] = ch
+		o.buildMu.Unlock()
+
+		lk.Lock()
+		t0 := o.dev.Clock()
+		err := tree.EnsureBuiltCtx(ctx)
+		dt := o.dev.Clock() - t0
+		if err == nil {
+			o.bumpLayoutEpoch()
+		}
+		lk.Unlock()
+
+		o.buildMu.Lock()
+		delete(o.building, ds)
+		o.buildMu.Unlock()
+		close(ch)
+		return dt, err
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"spaceodyssey/internal/geom"
 	"spaceodyssey/internal/object"
@@ -141,6 +142,22 @@ type Tree struct {
 	numObjects int
 	numLeaves  int
 
+	// epoch tags the tree's physical layout: it advances on every mutation
+	// that changes what a partition read returns — the level-0 build and
+	// each refinement. Scan-sharing registries key in-flight reads by it so
+	// a result can never be handed across a layout change. Mutations run
+	// under the caller's exclusive tree lock, reads under the shared lock,
+	// so the atomic is only needed for cross-dataset observers.
+	epoch atomic.Int64
+
+	// ShareReader, when non-nil, intercepts leaf-partition reads on the
+	// query path (QueryCtx's non-refining reads and QueryReadOnlyCtx): it is
+	// called with the partition and a read function performing the actual
+	// I/O, and may serve the objects from an attached in-flight scan
+	// instead. The returned slice must be treated as read-only — it may be
+	// shared with concurrent queries. Set once before queries run.
+	ShareReader func(ctx context.Context, p *Partition, read func(context.Context) ([]object.Object, error)) ([]object.Object, error)
+
 	// Refinements counts completed refinement operations (for stats).
 	Refinements int
 }
@@ -188,6 +205,11 @@ func (t *Tree) NumLeaves() int { return t.numLeaves }
 
 // FanoutPerDim returns k where ppl = k^3.
 func (t *Tree) FanoutPerDim() int { return t.k }
+
+// Epoch returns the tree's layout epoch: 0 while unbuilt, advanced by the
+// level-0 build and every refinement. Two reads of the same partition key at
+// the same epoch return the same bytes.
+func (t *Tree) Epoch() int64 { return t.epoch.Load() }
 
 // EnsureBuilt runs the level-0 partitioning if it has not happened yet: one
 // full in-situ scan of the raw file, assigning every object to one of ppl
@@ -248,6 +270,7 @@ func (t *Tree) EnsureBuiltCtx(ctx context.Context) error {
 	t.maxExtent = maxExt
 	t.numObjects = n
 	t.numLeaves = len(root.children)
+	t.epoch.Add(1)
 	return nil
 }
 

@@ -81,6 +81,7 @@ func (t *Tree) refineCtx(ctx context.Context, p *Partition) ([]object.Object, er
 	p.runs = nil
 	t.numLeaves += len(children) - 1
 	t.Refinements++
+	t.epoch.Add(1)
 	return objs, nil
 }
 
@@ -169,13 +170,11 @@ func (t *Tree) QueryCtx(ctx context.Context, q geom.Box, serveFromStore func(*Pa
 		if err := simdisk.CheckCtx(ctx); err != nil {
 			return res, err
 		}
-		var objs []object.Object
-		var err error
 		if t.NeedsRefinement(leaf, qVol) {
 			// Refinement reads the partition; reuse those objects and
 			// descend to the children actually intersecting the query.
 			t1 := dev.Clock()
-			objs, err = t.refineCtx(ctx, leaf)
+			objs, err := t.refineCtx(ctx, leaf)
 			res.RefineTime += dev.Clock() - t1
 			if err != nil {
 				return res, err
@@ -186,22 +185,61 @@ func (t *Tree) QueryCtx(ctx context.Context, q geom.Box, serveFromStore func(*Pa
 					res.Touched = append(res.Touched, c)
 				}
 			}
+			filterInto(&res, objs, q)
 		} else {
 			t1 := dev.Clock()
-			objs, err = t.ReadPartitionCtx(ctx, leaf)
+			objs, token, err := t.readLeaf(ctx, leaf)
 			res.ReadTime += dev.Clock() - t1
 			if err != nil {
 				return res, err
 			}
 			res.Touched = append(res.Touched, leaf)
-		}
-		for _, o := range objs {
-			if o.Intersects(q) {
-				res.Objects = append(res.Objects, o)
-			}
+			filterInto(&res, objs, q)
+			releaseLeaf(token)
 		}
 	}
 	return res, nil
+}
+
+// filterInto appends the objects intersecting q to res.Objects. Objects are
+// values, so the source slice (possibly pooled or shared with concurrent
+// queries) is never retained.
+func filterInto(res *QueryResult, objs []object.Object, q geom.Box) {
+	for _, o := range objs {
+		if o.Intersects(q) {
+			res.Objects = append(res.Objects, o)
+		}
+	}
+}
+
+// readLeaf reads one leaf partition on the query path. With a ShareReader
+// installed (scan sharing) the read routes through it — the result may be a
+// slice shared with concurrent queries, so there is nothing to recycle and
+// the returned pool token is nil. Otherwise the read decodes into a pooled
+// slice and the token returns it via releaseLeaf; the caller must be done
+// with the objects (filtered into its own result) before releasing.
+func (t *Tree) readLeaf(ctx context.Context, p *Partition) ([]object.Object, *[]object.Object, error) {
+	if t.ShareReader != nil {
+		objs, err := t.ShareReader(ctx, p, func(ctx context.Context) ([]object.Object, error) {
+			return t.file.ReadRunsCtx(ctx, p.runs)
+		})
+		return objs, nil, err
+	}
+	sp := pagefile.GetObjSlice()
+	objs, err := t.file.ReadRunsIntoCtx(ctx, *sp, p.runs)
+	*sp = objs
+	if err != nil {
+		pagefile.PutObjSlice(sp)
+		return nil, nil, err
+	}
+	return objs, sp, nil
+}
+
+// releaseLeaf returns a readLeaf pool token (nil-safe).
+func releaseLeaf(sp *[]object.Object) {
+	if sp != nil {
+		pagefile.PutObjSlice(sp)
+	}
 }
 
 // QueryReadOnlyCtx answers q strictly from the current layout: the tree must
@@ -232,17 +270,14 @@ func (t *Tree) QueryReadOnlyCtx(ctx context.Context, q geom.Box, serveFromStore 
 			res.WantRefine = append(res.WantRefine, leaf.key)
 		}
 		t1 := dev.Clock()
-		objs, err := t.ReadPartitionCtx(ctx, leaf)
+		objs, token, err := t.readLeaf(ctx, leaf)
 		res.ReadTime += dev.Clock() - t1
 		if err != nil {
 			return res, err
 		}
 		res.Touched = append(res.Touched, leaf)
-		for _, o := range objs {
-			if o.Intersects(q) {
-				res.Objects = append(res.Objects, o)
-			}
-		}
+		filterInto(&res, objs, q)
+		releaseLeaf(token)
 	}
 	return res, nil
 }

@@ -12,6 +12,7 @@ package pagefile
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"spaceodyssey/internal/object"
 	"spaceodyssey/internal/simdisk"
@@ -161,15 +162,44 @@ func (f *File) ReadRuns(runs []Run) ([]object.Object, error) {
 // ReadRunsCtx reads all objects across runs in order, aborting between and
 // within runs when ctx is canceled (nil disables cancellation).
 func (f *File) ReadRunsCtx(ctx context.Context, runs []Run) ([]object.Object, error) {
-	var out []object.Object
+	return f.ReadRunsIntoCtx(ctx, nil, runs)
+}
+
+// ReadRunsIntoCtx appends the objects of every run, in order, to dst — the
+// allocation-free variant hot read paths combine with GetObjSlice /
+// PutObjSlice so steady-state queries stop allocating a fresh object slice
+// per partition read. Returns dst (possibly regrown) even on error.
+func (f *File) ReadRunsIntoCtx(ctx context.Context, dst []object.Object, runs []Run) ([]object.Object, error) {
 	var err error
 	for _, r := range runs {
-		out, err = f.ReadRunIntoCtx(ctx, out, r)
+		dst, err = f.ReadRunIntoCtx(ctx, dst, r)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
 	}
-	return out, nil
+	return dst, nil
+}
+
+// objSlicePool recycles the transient object slices of the query read path:
+// a partition read decodes into a pooled slice, the query filters what it
+// needs (objects are values — filtering copies), and the slice goes back.
+var objSlicePool = sync.Pool{
+	New: func() any {
+		s := make([]object.Object, 0, 4*object.PageCapacity)
+		return &s
+	},
+}
+
+// GetObjSlice returns an empty object slice from the pool.
+func GetObjSlice() *[]object.Object {
+	return objSlicePool.Get().(*[]object.Object)
+}
+
+// PutObjSlice returns a slice obtained from GetObjSlice to the pool. The
+// caller must not retain s (or any alias of its backing array) afterwards.
+func PutObjSlice(s *[]object.Object) {
+	*s = (*s)[:0]
+	objSlicePool.Put(s)
 }
 
 // WriteInto distributes objs across the free capacity described by reuse

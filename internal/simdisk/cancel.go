@@ -82,6 +82,15 @@ func (d *Device) ReadRunCtx(ctx context.Context, id FileID, start, n int64) ([]b
 	if n < 0 {
 		return nil, fmt.Errorf("simdisk: negative run length %d", n)
 	}
+	if n > 0 && d.shareReads.Load() {
+		return d.readRunShared(ctx, id, start, n)
+	}
+	return d.readRunDirect(ctx, id, start, n)
+}
+
+// readRunDirect is the uncoalesced run read every ReadRun ultimately runs
+// on: page-by-page charging with one aggregated real-time sleep at the end.
+func (d *Device) readRunDirect(ctx context.Context, id FileID, start, n int64) ([]byte, error) {
 	buf := make([]byte, n*PageSize)
 	var total time.Duration
 	for i := int64(0); i < n; i++ {

@@ -38,6 +38,13 @@ type Stats struct {
 	BytesRead    int64
 	BytesWritten int64
 	CanceledOps  int64 // device operations aborted by context cancellation
+	// CoalescedReads and CoalescedPages count the single-flight read path
+	// (SetShareReads): run reads answered by attaching to an overlapping
+	// in-flight read, and the pages those attachments did not have to read
+	// again. Both stay zero with sharing off. A coalesced page appears in no
+	// other counter — it was neither a platter read nor a cache hit.
+	CoalescedReads int64
+	CoalescedPages int64
 }
 
 // ChannelStats snapshots one I/O channel's activity: the platter time it
@@ -62,6 +69,8 @@ func (s *Stats) Add(o Stats) {
 	s.BytesRead += o.BytesRead
 	s.BytesWritten += o.BytesWritten
 	s.CanceledOps += o.CanceledOps
+	s.CoalescedReads += o.CoalescedReads
+	s.CoalescedPages += o.CoalescedPages
 }
 
 // file is one page file stored entirely in memory. Its pages are guarded by
@@ -136,6 +145,15 @@ type Device struct {
 	faultsArmed atomic.Int32
 	readFaults  map[pageKey]error
 
+	// Single-flight run coalescing (SetShareReads): sfInflight registers the
+	// in-flight run reads of each file so overlapping readers can attach.
+	// Off by default; the flag keeps the uncoalesced path lock-free.
+	shareReads     atomic.Bool
+	sfMu           sync.Mutex
+	sfInflight     map[FileID][]*inflightRun
+	coalescedReads atomic.Int64
+	coalescedPages atomic.Int64
+
 	// realTime holds the float64 bits of the real-time emulation scale
 	// (0 = off). See SetRealTimeScale.
 	realTime atomic.Uint64
@@ -170,6 +188,7 @@ func NewDeviceChannels(cost CostModel, cacheCapacity, channels int) *Device {
 		channels:   make([]channel, channels),
 		cache:      newShardedCache(cacheCapacity),
 		readFaults: make(map[pageKey]error),
+		sfInflight: make(map[FileID][]*inflightRun),
 	}
 }
 
@@ -552,12 +571,14 @@ func (d *Device) emulateCtx(ctx context.Context, dt time.Duration) error {
 // instantaneous cross-counter cut.
 func (d *Device) Stats() Stats {
 	s := Stats{
-		PageReads:    d.pageReads.Load(),
-		PageWrites:   d.pageWrites.Load(),
-		CacheHits:    d.cache.Hits(),
-		BytesRead:    d.bytesRead.Load(),
-		BytesWritten: d.bytesWritten.Load(),
-		CanceledOps:  d.canceledOps.Load(),
+		PageReads:      d.pageReads.Load(),
+		PageWrites:     d.pageWrites.Load(),
+		CacheHits:      d.cache.Hits(),
+		BytesRead:      d.bytesRead.Load(),
+		BytesWritten:   d.bytesWritten.Load(),
+		CanceledOps:    d.canceledOps.Load(),
+		CoalescedReads: d.coalescedReads.Load(),
+		CoalescedPages: d.coalescedPages.Load(),
 	}
 	for i := range d.channels {
 		s.Seeks += d.channels[i].seeks.Load()
@@ -573,6 +594,8 @@ func (d *Device) ResetStats() {
 	d.bytesRead.Store(0)
 	d.bytesWritten.Store(0)
 	d.canceledOps.Store(0)
+	d.coalescedReads.Store(0)
+	d.coalescedPages.Store(0)
 	for i := range d.channels {
 		d.channels[i].seeks.Store(0)
 		d.channels[i].seqPages.Store(0)

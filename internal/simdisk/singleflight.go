@@ -1,0 +1,114 @@
+package simdisk
+
+import (
+	"context"
+)
+
+// inflightRun is one registered device run read other readers may attach to.
+// The leader fills buf/dt/err and closes done after its whole read —
+// including the aggregated real-time emulation sleep — so an attached reader
+// that returns has genuinely waited out the device latency it shares.
+type inflightRun struct {
+	start, n int64
+	done     chan struct{}
+	buf      []byte
+	err      error
+}
+
+// SetShareReads turns single-flight run coalescing on or off. With sharing
+// on, concurrent ReadRun/ReadRunCtx calls whose page ranges overlap on the
+// same file coalesce: one reader (the leader) performs and is charged the
+// physical read, every other reader whose range the leader's covers attaches
+// to it and receives its slice of the same buffer — no platter charge, no
+// cache traffic, counted in Stats.CoalescedReads/CoalescedPages. Off (the
+// default) every read is independent, bit-for-bit the original model.
+func (d *Device) SetShareReads(share bool) {
+	d.shareReads.Store(share)
+}
+
+// ShareReads reports whether single-flight run coalescing is on.
+func (d *Device) ShareReads() bool { return d.shareReads.Load() }
+
+// WaitDone blocks until ch closes or ctx (nil allowed) is canceled,
+// returning the wrapped cancellation error in the latter case. It is the
+// attach-side wait every single-flight layer (device run coalescing here,
+// the engine's scan registry and build flights above) shares.
+func WaitDone(ctx context.Context, ch <-chan struct{}) error {
+	if ctx == nil {
+		<-ch
+		return nil
+	}
+	// ctx.Done() may be nil (context.Background()); a nil channel case is
+	// simply never ready.
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return Canceled(ctx.Err())
+	}
+}
+
+// readRunShared is the coalescing read path behind SetShareReads(true). A
+// reader whose range is covered by an in-flight leader attaches and waits;
+// otherwise it registers itself as the leader for its own range, performs
+// the read, and fans the buffer out. Attachment is zero-copy: the returned
+// slice may alias the leader's buffer, which callers must treat as
+// read-only (every caller in this repository decodes out of it and drops
+// it, never writes into it).
+func (d *Device) readRunShared(ctx context.Context, id FileID, start, n int64) ([]byte, error) {
+	d.sfMu.Lock()
+	for _, fl := range d.sfInflight[id] {
+		if fl.start <= start && start+n <= fl.start+fl.n {
+			d.sfMu.Unlock()
+			if err := WaitDone(ctx, fl.done); err != nil {
+				d.canceledOps.Add(1)
+				return nil, err
+			}
+			if fl.err != nil {
+				// The leader failed (fault injection, cancellation, a
+				// concurrent delete); its outcome is not ours — perform the
+				// read independently.
+				return d.readRunDirect(ctx, id, start, n)
+			}
+			d.coalescedReads.Add(1)
+			d.coalescedPages.Add(n)
+			off := (start - fl.start) * PageSize
+			return fl.buf[off : off+n*PageSize : off+n*PageSize], nil
+		}
+	}
+	fl := &inflightRun{start: start, n: n, done: make(chan struct{})}
+	d.sfInflight[id] = append(d.sfInflight[id], fl)
+	d.sfMu.Unlock()
+
+	fl.buf, fl.err = d.readRunDirect(ctx, id, start, n)
+
+	d.sfMu.Lock()
+	runs := d.sfInflight[id]
+	for i, f := range runs {
+		if f == fl {
+			runs[i] = runs[len(runs)-1]
+			runs = runs[:len(runs)-1]
+			break
+		}
+	}
+	if len(runs) == 0 {
+		delete(d.sfInflight, id)
+	} else {
+		d.sfInflight[id] = runs
+	}
+	d.sfMu.Unlock()
+	close(fl.done)
+	return fl.buf, fl.err
+}
+
+// SetShareReads fans the coalescing switch out to every member device.
+// Coalescing is per member: an array never merges reads across spindles,
+// because there is no shared head to save.
+func (a *DeviceArray) SetShareReads(share bool) {
+	for _, m := range a.members {
+		m.SetShareReads(share)
+	}
+}
+
+// ShareReads reports the members' common coalescing state.
+func (a *DeviceArray) ShareReads() bool { return a.members[0].ShareReads() }

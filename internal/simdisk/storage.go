@@ -43,6 +43,14 @@ type Storage interface {
 	CachedPages() int
 	SetCacheCapacity(pages int)
 
+	// Single-flight run coalescing (scan sharing's device layer): with
+	// sharing on, concurrent ReadRun calls with overlapping page ranges on
+	// one file coalesce into one charged read whose buffer is fanned out
+	// (Stats.CoalescedReads / CoalescedPages). Default off — every read
+	// independent, the original cost model bit for bit.
+	SetShareReads(share bool)
+	ShareReads() bool
+
 	// Close marks the storage closed: subsequent file operations fail with
 	// ErrDeviceClosed, and the buffer cache is released. The owner (the
 	// Explorer) drains background layout maintenance before closing, so a

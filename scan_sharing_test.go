@@ -1,0 +1,227 @@
+package odyssey
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// Scan-sharing oracle storms: the full race-mode equivalence suite with
+// Options.ShareScans on — coalesced device reads, attached scans and
+// single-flight builds must change I/O accounting, never what a query
+// returns. The real-time emulation stretches device latencies into
+// wall-clock windows so attachment genuinely happens under the race
+// detector.
+
+func TestConcurrentQueriesMatchOracleShareScans(t *testing.T) {
+	env := newOracleEnv(t, Options{ShareScans: true, RealTimeScale: 0.002}, 3, 2000)
+	runConcurrentOracle(t, env, 8, 20)
+	if m := env.ex.Metrics(); m.Queries != 8*20 {
+		t.Errorf("engine recorded %d queries, want %d", m.Queries, 8*20)
+	}
+}
+
+func TestConcurrentQueriesMatchOracleShareScansAsync(t *testing.T) {
+	env := newOracleEnv(t, Options{
+		ShareScans: true, AsyncMaintenance: true, MaintenanceWorkers: 3,
+		RealTimeScale: 0.002,
+	}, 3, 2000)
+	defer env.ex.Close()
+	runConcurrentOracle(t, env, 8, 15)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := env.ex.Quiesce(ctx); err != nil {
+		t.Fatalf("Quiesce: %v", err)
+	}
+	if err := env.ex.MaintenanceErr(); err != nil {
+		t.Fatalf("background maintenance task failed: %v", err)
+	}
+	env.ex.SetRealTimeScale(0)
+	// Post-quiesce, the converged sharing engine still matches the oracle.
+	for i, q := range []Query{
+		{Range: Cube(V(0.35, 0.4, 0.4), 0.06), Datasets: []DatasetID{0, 1, 2}},
+		{Range: Cube(V(0.5, 0.5, 0.5), 0.12), Datasets: []DatasetID{0, 2}},
+	} {
+		if err := env.check(q); err != nil {
+			t.Fatalf("post-quiesce query %d: %v", i, err)
+		}
+	}
+}
+
+func TestConcurrentQueriesMatchOracleShareScansArray(t *testing.T) {
+	env := newOracleEnv(t, Options{
+		ShareScans: true, Devices: 2, Channels: 2, RealTimeScale: 0.002,
+	}, 3, 2000)
+	runConcurrentOracle(t, env, 8, 15)
+	// Conservation still holds with coalescing: per-device counters sum to
+	// the aggregate view, coalesced counters included.
+	var sum DiskStats
+	for _, s := range env.ex.DeviceStats() {
+		sum.Add(s)
+	}
+	if sum != env.ex.DiskStats() {
+		t.Errorf("DeviceStats sum %+v != DiskStats %+v", sum, env.ex.DiskStats())
+	}
+}
+
+// TestSharingStatsLedger drives a hot-region pooled workload twice — with
+// and without sharing — and checks that (a) the sharing run reports saved
+// work in its ledger and (b) both runs return identical result multisets.
+func TestSharingStatsLedger(t *testing.T) {
+	build := func(share bool) (*Explorer, []BatchResult) {
+		ex, err := NewExplorer(Options{
+			ShareScans:         share,
+			DropCachesPerQuery: true, // the paper's cold-cache methodology: misses galore
+			RealTimeScale:      0.002,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := GenerateDatasets(DataConfig{Seed: 7, NumObjects: 2000, Clusters: 4}, 3)
+		for i, objs := range data {
+			if err := ex.AddDataset(DatasetID(i), objs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		hot := Cube(V(0.45, 0.45, 0.5), 0.07)
+		queries := make([]Query, 48)
+		for i := range queries {
+			queries[i] = Query{Range: hot, Datasets: []DatasetID{0, 1, 2}}
+		}
+		res, err := ex.QueryBatch(queries, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ex, res
+	}
+
+	exOff, resOff := build(false)
+	exOn, resOn := build(true)
+
+	if st := exOff.SharingStats(); st != (SharingStats{}) {
+		t.Fatalf("sharing off but ledger non-zero: %+v", st)
+	}
+	st := exOn.SharingStats()
+	if st.CoalescedReads+st.AttachedScans+st.SharedBuilds == 0 {
+		t.Fatalf("hot-region pooled run shared nothing: %+v", st)
+	}
+	if ds := exOn.DiskStats(); ds.CoalescedPages != st.PagesSaved {
+		t.Fatalf("PagesSaved %d != device CoalescedPages %d", st.PagesSaved, ds.CoalescedPages)
+	}
+
+	// Identical queries, identical answers — sharing may only change I/O.
+	for i := range resOff {
+		if resOff[i].Err != nil || resOn[i].Err != nil {
+			t.Fatalf("query %d errored: off=%v on=%v", i, resOff[i].Err, resOn[i].Err)
+		}
+		if len(resOff[i].Objects) != len(resOn[i].Objects) {
+			t.Fatalf("query %d: %d objects without sharing, %d with",
+				i, len(resOff[i].Objects), len(resOn[i].Objects))
+		}
+	}
+}
+
+// TestBatchWindowDispatch pins the micro-batcher: every submission flows
+// through the stage, grouped flushes are counted, every result is
+// delivered, and Close flushes the stage before shutting the pool down.
+func TestBatchWindowDispatch(t *testing.T) {
+	ex, err := NewExplorer(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := GenerateDatasets(DataConfig{Seed: 11, NumObjects: 1000, Clusters: 3}, 3)
+	for i, objs := range data {
+		if err := ex.AddDataset(DatasetID(i), objs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := NewDispatcherWithAdmission(ex, 4, AdmissionConfig{BatchWindow: 2 * time.Millisecond})
+	const n = 40
+	out := make(chan BatchResult, n)
+	combos := [][]DatasetID{{0, 1, 2}, {1}, {0, 2}}
+	for i := 0; i < n; i++ {
+		q := Query{Range: Cube(V(0.4, 0.5, 0.5), 0.08), Datasets: combos[i%len(combos)]}
+		if err := d.Submit(i, q, out); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	d.Close()
+	close(out)
+	seen := 0
+	for r := range out {
+		if r.Err != nil {
+			t.Fatalf("query %d failed: %v", r.Index, r.Err)
+		}
+		seen++
+	}
+	if seen != n {
+		t.Fatalf("delivered %d of %d batched results", seen, n)
+	}
+	st := d.AdmissionStats()
+	if st.BatchedQueries != n {
+		t.Fatalf("BatchedQueries = %d, want %d", st.BatchedQueries, n)
+	}
+	if st.Batches == 0 || st.Batches > n {
+		t.Fatalf("Batches = %d, want in [1, %d]", st.Batches, n)
+	}
+	if st.Admitted != n {
+		t.Fatalf("Admitted = %d, want %d", st.Admitted, n)
+	}
+}
+
+// TestBatchGroupKey pins the grouping rule: same combination and same
+// coarse cell collate, different combinations or distant centers do not.
+func TestBatchGroupKey(t *testing.T) {
+	ex, err := NewExplorer(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDispatcher(ex, 1)
+	defer d.Close()
+	a := d.batchGroupKey(Query{Range: Cube(V(0.41, 0.42, 0.43), 0.02), Datasets: []DatasetID{2, 0, 1}})
+	b := d.batchGroupKey(Query{Range: Cube(V(0.44, 0.41, 0.42), 0.03), Datasets: []DatasetID{0, 1, 2}})
+	if a != b {
+		t.Fatalf("same combo + same cell produced different keys: %q vs %q", a, b)
+	}
+	c := d.batchGroupKey(Query{Range: Cube(V(0.41, 0.42, 0.43), 0.02), Datasets: []DatasetID{0, 1}})
+	if a == c {
+		t.Fatal("different combinations share a group key")
+	}
+	e := d.batchGroupKey(Query{Range: Cube(V(0.95, 0.95, 0.95), 0.02), Datasets: []DatasetID{2, 0, 1}})
+	if a == e {
+		t.Fatal("distant centers share a group key")
+	}
+}
+
+// TestTimingsApproximate pins the attribution caveat guard: exact on the
+// default 1x1 topology, flagged approximate as soon as C·D > 1 — on both
+// the Explorer and the engine's PhaseTimes.
+func TestTimingsApproximate(t *testing.T) {
+	exact, err := NewExplorer(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.TimingsApproximate() {
+		t.Error("1x1 topology flagged approximate")
+	}
+	if exact.Metrics().Phases.Approximate {
+		t.Error("1x1 PhaseTimes flagged approximate")
+	}
+	multi, err := NewExplorer(Options{Devices: 2, Channels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !multi.TimingsApproximate() {
+		t.Error("2x2 topology not flagged approximate")
+	}
+	if !multi.Metrics().Phases.Approximate {
+		t.Error("2x2 PhaseTimes not flagged approximate")
+	}
+	channelsOnly, err := NewExplorer(Options{Channels: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !channelsOnly.TimingsApproximate() {
+		t.Error("1x4 topology not flagged approximate")
+	}
+}
