@@ -68,6 +68,7 @@ func main() {
 		asyncCmp   = flag.Bool("async", false, "with -parallel: compare synchronous vs asynchronous layout maintenance on the miss-heavy adapting workload (per-query latency percentiles + time-to-convergence); with -share: run the sharing comparison's engines in async-maintenance mode")
 		maintWk    = flag.Int("maintworkers", 2, "maintenance worker pool size for async-maintenance modes")
 		share      = flag.Bool("share", false, "with -parallel: compare ShareScans off vs on under an overlapping hot-region pooled workload (coalesced reads, pages saved, byte-identical results), writing BENCH_sharing.json fields via -json")
+		cacheCmp   = flag.Bool("cache", false, "with -parallel: compare CacheResults off vs on under a zipf hot-region pooled workload (exact + containment cache hits, zero-device-read queries, byte-identical results), writing BENCH_cache.json fields via -json; composes with -share and -async")
 		batchWin   = flag.Duration("batchwindow", 2*time.Millisecond, "dispatcher micro-batch window for the -share comparison's sharing mode (0 disables batching)")
 	)
 	flag.Parse()
@@ -133,6 +134,13 @@ func main() {
 		if *queueWait != 0 && *maxInFl == 0 {
 			fatalf("-queuewait needs -maxinflight (there is no slot wait without an in-flight cap)")
 		}
+		if *cacheCmp {
+			if *deadline != 0 || *maxInFl != 0 || *queueWait != 0 {
+				fatalf("-deadline/-maxinflight/-queuewait cannot be combined with -cache (the comparison measures raw caching gains)")
+			}
+			runCacheServing(cfg, wcfg, *parallel, *rtScale, *share, *asyncCmp, *maintWk, *jsonPath)
+			return
+		}
 		if *share {
 			if *deadline != 0 || *maxInFl != 0 || *queueWait != 0 {
 				fatalf("-deadline/-maxinflight/-queuewait cannot be combined with -share (the comparison measures raw sharing gains)")
@@ -160,6 +168,9 @@ func main() {
 	}
 	if *share {
 		fatalf("-share needs -parallel (sharing only pays off across concurrent queries)")
+	}
+	if *cacheCmp {
+		fatalf("-cache needs -parallel (the caching comparison replays a pooled serving workload)")
 	}
 	if *deadline != 0 || *maxInFl != 0 || *queueWait != 0 {
 		fatalf("-deadline/-maxinflight/-queuewait only apply to the -parallel experiment")
@@ -879,6 +890,234 @@ type sharingReport struct {
 	PagesReadReduction  float64           `json:"pages_read_reduction"`
 	SimSpeedupOffOverOn float64           `json:"sim_speedup_off_over_on"`
 	ResultsIdentical    bool              `json:"results_identical"`
+}
+
+// runCacheServing measures the epoch-scoped result cache: a zipf hot-region
+// workload (clustered query centers, a zipf-skewed combination distribution —
+// a few regions and dataset bundles drawing most of the traffic) is converged
+// once per mode on a virtual disk, then replayed cold-cache
+// (DropCachesPerQuery) through a pool of the given size on a real-time
+// emulated disk, with Options.CacheResults off and on. Converged serving
+// means no layout publishes flush the cache mid-replay, so the report shows
+// the steady-state gain: the fraction of queries answered with zero device
+// reads, split into exact per-cell hits and containment answers (a query
+// window inside a cached coarse region — merge-frozen cells and unrefined
+// zipf-tail datasets are the prime source). Per-query fingerprints verify
+// byte-identical results between the modes: caching may change I/O, never
+// answers.
+func runCacheServing(cfg bench.Config, wcfg bench.WorkloadConfig, workers int, scale float64, share, async bool, maintWorkers int, jsonPath string) {
+	k := 3
+	if k > cfg.Datasets {
+		k = cfg.Datasets
+	}
+	w, err := workload.Generate(workload.Config{
+		Seed: wcfg.Seed, NumQueries: wcfg.Queries, NumDatasets: cfg.Datasets,
+		DatasetsPerQuery: k, QueryVolumeFrac: wcfg.QueryVolumeFrac,
+		RangeDist: workload.RangeClustered, CombDist: workload.CombZipf,
+		ClusterCenters: 4, SigmaFactor: 0.2,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	data := datagen.GenerateDatasets(datagen.Config{
+		Seed: cfg.DataSeed, NumObjects: cfg.ObjectsPerDataset,
+		Bounds: cfg.Bounds, Layout: cfg.DataLayout,
+	}, cfg.Datasets)
+	policy, err := bench.PlacementByName(cfg.Placement)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("result-cache comparison: %d datasets x %d objects, %d queries, %d workers, realtime x%g\n",
+		cfg.Datasets, cfg.ObjectsPerDataset, wcfg.Queries, workers, scale)
+	fmt.Printf("storage: %d device(s) x %d channel(s), placement %s; scan sharing: %v; async maintenance: %v\n\n",
+		cfg.Devices, cfg.Channels, cfg.Placement, share, async)
+
+	runMode := func(cacheOn bool) (cacheModeReport, map[int]uint64) {
+		ex, err := odyssey.NewExplorer(odyssey.Options{
+			Bounds: cfg.Bounds, Cost: cfg.Cost, CachePages: cfg.CachePages,
+			DropCachesPerQuery: true, // pooled miss-heavy serving: the page cache never helps
+			Devices:            cfg.Devices, Channels: cfg.Channels, Placement: policy,
+			AsyncMaintenance: async, MaintenanceWorkers: maintWorkers,
+			ShareScans:   share,
+			CacheResults: cacheOn,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer func() {
+			if err := ex.Close(); err != nil {
+				fatalf("close: %v", err)
+			}
+		}()
+		for i, objs := range data {
+			if err := ex.AddDataset(odyssey.DatasetID(i), objs); err != nil {
+				fatalf("%v", err)
+			}
+		}
+		// Converge on the instant disk so the measured pass compares
+		// steady-state serving — and, with caching on, replays against the
+		// cache the convergence passes populated.
+		for pass := 0; pass < 4; pass++ {
+			before := ex.Metrics()
+			for _, q := range w.Queries {
+				if _, err := ex.Query(q.Range, q.Datasets); err != nil {
+					fatalf("converge: %v", err)
+				}
+			}
+			if err := ex.Quiesce(context.Background()); err != nil {
+				fatalf("quiesce: %v", err)
+			}
+			after := ex.Metrics()
+			if after.Refinements == before.Refinements &&
+				after.PartitionsMerged == before.PartitionsMerged &&
+				after.MergeEvictions == before.MergeEvictions {
+				break
+			}
+		}
+		ex.ResetClock()
+		ex.ResetStats()        // device counters (pages read) restart at zero
+		cs0 := ex.CacheStats() // cache counters are lifetime; delta below
+		ex.SetRealTimeScale(scale)
+
+		d := odyssey.NewDispatcherWithAdmission(ex, workers, odyssey.AdmissionConfig{})
+		out := make(chan odyssey.BatchResult, len(w.Queries))
+		t0 := time.Now()
+		for i, q := range w.Queries {
+			if err := d.Submit(i, q, out); err != nil {
+				fatalf("submit: %v", err)
+			}
+		}
+		d.Close()
+		wall := time.Since(t0)
+		close(out)
+		// Per-query result fingerprints, order-independent: caching may
+		// change I/O, never answers.
+		prints := make(map[int]uint64, len(w.Queries))
+		for r := range out {
+			if r.Err != nil {
+				fatalf("worker %d query %d: %v", r.Worker, r.Index, r.Err)
+			}
+			prints[r.Index] = fingerprint(r.Objects)
+		}
+		if err := ex.Quiesce(context.Background()); err != nil {
+			fatalf("quiesce: %v", err)
+		}
+		sim := ex.Clock()
+		ds := ex.DiskStats()
+		cs := ex.CacheStats()
+		rep := cacheModeReport{
+			Cache:           cacheOn,
+			WallSeconds:     wall.Seconds(),
+			SimSeconds:      sim.Seconds(),
+			PagesRead:       ds.PageReads,
+			Hits:            cs.Hits - cs0.Hits,
+			ContainmentHits: cs.ContainmentHits - cs0.ContainmentHits,
+			Misses:          cs.Misses - cs0.Misses,
+			Inserts:         cs.Inserts - cs0.Inserts,
+			Evictions:       cs.Evictions - cs0.Evictions,
+			Invalidations:   cs.Invalidations - cs0.Invalidations,
+			ZeroReadQueries: cs.ZeroReadQueries - cs0.ZeroReadQueries,
+			Entries:         cs.Entries,
+			CachedObjects:   cs.CachedObjects,
+		}
+		if n := len(w.Queries); n > 0 {
+			rep.ZeroReadFraction = float64(rep.ZeroReadQueries) / float64(n)
+		}
+		name := "cache-off"
+		if cacheOn {
+			name = "cache-on"
+		}
+		fmt.Printf("%-9s %8.3fs wall  %8.3fs simulated  %8d pages read\n",
+			name, rep.WallSeconds, rep.SimSeconds, rep.PagesRead)
+		if cacheOn {
+			fmt.Printf("          cache: %d exact + %d containment hits, %d/%d queries zero-read (%.1f%%), %d inserts, %d evictions, %d invalidations\n",
+				rep.Hits, rep.ContainmentHits, rep.ZeroReadQueries, len(w.Queries),
+				100*rep.ZeroReadFraction, rep.Inserts, rep.Evictions, rep.Invalidations)
+		}
+		return rep, prints
+	}
+
+	offRep, offPrints := runMode(false)
+	onRep, onPrints := runMode(true)
+
+	identical := len(offPrints) == len(onPrints)
+	for i, fp := range offPrints {
+		if onPrints[i] != fp {
+			identical = false
+			break
+		}
+	}
+	report := cacheReport{
+		Experiment: "result-cache",
+		Devices:    cfg.Devices, Channels: cfg.Channels, Placement: cfg.Placement,
+		Workers: workers, Queries: len(w.Queries), RealtimeScale: scale,
+		Share: share, Async: async,
+		Off: offRep, On: onRep,
+		ResultsIdentical: identical,
+	}
+	if offRep.PagesRead > 0 {
+		report.PagesReadReduction = 1 - float64(onRep.PagesRead)/float64(offRep.PagesRead)
+	}
+	if onRep.SimSeconds > 0 {
+		report.SimSpeedupOffOverOn = offRep.SimSeconds / onRep.SimSeconds
+	}
+	fmt.Printf("\npages read: %d -> %d (%.1f%% fewer)  simulated: %.3fs -> %.3fs (%.2fx)  results identical: %v\n",
+		offRep.PagesRead, onRep.PagesRead, 100*report.PagesReadReduction,
+		offRep.SimSeconds, onRep.SimSeconds, report.SimSpeedupOffOverOn, identical)
+	if !identical {
+		fatalf("caching changed query results — the oracle contract is broken")
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("(wrote %s)\n", jsonPath)
+	}
+}
+
+// cacheModeReport is one mode's measured behaviour in the -cache
+// comparison. Cache counters are deltas over the measured replay (the
+// convergence passes populate the cache but are not reported); Entries and
+// CachedObjects are the end-of-run snapshot.
+type cacheModeReport struct {
+	Cache            bool    `json:"cache"`
+	WallSeconds      float64 `json:"wall_seconds"`
+	SimSeconds       float64 `json:"sim_seconds"`
+	PagesRead        int64   `json:"pages_read"`
+	Hits             int64   `json:"hits"`
+	ContainmentHits  int64   `json:"containment_hits"`
+	Misses           int64   `json:"misses"`
+	Inserts          int64   `json:"inserts"`
+	Evictions        int64   `json:"evictions"`
+	Invalidations    int64   `json:"invalidations"`
+	ZeroReadQueries  int64   `json:"zero_read_queries"`
+	ZeroReadFraction float64 `json:"zero_read_fraction"`
+	Entries          int     `json:"entries"`
+	CachedObjects    int64   `json:"cached_objects"`
+}
+
+// cacheReport is the machine-readable form of the -cache comparison
+// (BENCH_cache.json).
+type cacheReport struct {
+	Experiment          string          `json:"experiment"`
+	Devices             int             `json:"devices"`
+	Channels            int             `json:"channels"`
+	Placement           string          `json:"placement"`
+	Workers             int             `json:"workers"`
+	Queries             int             `json:"queries"`
+	RealtimeScale       float64         `json:"realtime_scale"`
+	Share               bool            `json:"share"`
+	Async               bool            `json:"async"`
+	Off                 cacheModeReport `json:"off"`
+	On                  cacheModeReport `json:"on"`
+	PagesReadReduction  float64         `json:"pages_read_reduction"`
+	SimSpeedupOffOverOn float64         `json:"sim_speedup_off_over_on"`
+	ResultsIdentical    bool            `json:"results_identical"`
 }
 
 // asyncModeReport is one maintenance mode's measured behaviour.

@@ -101,6 +101,21 @@ type Options struct {
 	// off: every query pays its own I/O, and single-worker behaviour is
 	// bit-for-bit the original model.
 	ShareScans bool
+	// CacheResults turns on the epoch-scoped result cache: completed
+	// partition scans are retained keyed on (dataset, cell, layout epoch)
+	// and answer later queries of the same cell — or queries whose range a
+	// cached region fully contains (containment answering) — with zero
+	// device reads. Every layout publish (refinement, merge, eviction)
+	// flushes the cache, so a cached result can never cross a layout
+	// epoch; query results are byte-identical to an uncached run. See
+	// CacheStats for the ledger. Default off: behaviour is bit-for-bit
+	// the uncached model.
+	CacheResults bool
+	// CacheCapacity bounds the result cache in total cached objects
+	// (<= 0 defaults to core.DefaultCacheCapacity, 128Ki objects). When
+	// full, the coldest cached scans — fewest hits, oldest first — are
+	// evicted. Only meaningful with CacheResults.
+	CacheCapacity int64
 }
 
 // SharingStats is the scan-sharing ledger (Options.ShareScans): what the
@@ -122,8 +137,10 @@ type SharingStats struct {
 	// first-touch build instead of herding on the tree lock.
 	SharedBuilds int64
 	// Invalidations counts registry flushes on layout publishes
-	// (refinement, merge, eviction) — the epoch guard that keeps shared
-	// results inside one layout epoch.
+	// (refinement, merge, eviction) that actually dropped in-flight
+	// entries — the epoch guard that keeps shared results inside one
+	// layout epoch. Publishes that found the registry empty are not
+	// counted: the field measures flushed work, not publish frequency.
 	Invalidations int64
 }
 
@@ -162,6 +179,8 @@ func (o Options) engineConfig() core.Config {
 	cfg.AsyncMaintenance = o.AsyncMaintenance
 	cfg.MaintenanceWorkers = o.MaintenanceWorkers
 	cfg.ShareScans = o.ShareScans
+	cfg.CacheResults = o.CacheResults
+	cfg.CacheCapacity = o.CacheCapacity
 	return cfg
 }
 
@@ -502,6 +521,11 @@ func (e *Explorer) SharingStats() SharingStats {
 		Invalidations:  es.Invalidations,
 	}
 }
+
+// CacheStats returns the result-cache ledger (Options.CacheResults): exact
+// and containment hits, queries served with zero device reads, inserts,
+// evictions, and epoch-flush invalidations. All zeros when caching is off.
+func (e *Explorer) CacheStats() CacheStats { return e.engine.CacheStats() }
 
 // TimingsApproximate reports whether per-query simulated timings
 // (QueryTimed) and the engine's PhaseTimes are approximate on this

@@ -760,20 +760,12 @@ func (m *Merger) dropReferencesTo(owner ComboKey) {
 	}
 }
 
-// Box returns the spatial cell of a merged entry key within bounds (for
-// diagnostics). fanout is the per-dimension fanout of the trees.
+// EntryBox returns the spatial cell of a merged entry key within bounds —
+// the region a cached merge segment covers. fanout is the per-dimension
+// fanout of the trees; the geometry is the canonical key-to-cell mapping in
+// octree.Key.Box.
 func EntryBox(bounds geom.Box, key octree.Key, fanout int) geom.Box {
-	cellsPerDim := 1
-	for i := uint8(0); i < key.Level; i++ {
-		cellsPerDim *= fanout
-	}
-	size := bounds.Size().Div(float64(cellsPerDim))
-	min := bounds.Min.Add(geom.Vec{
-		X: size.X * float64(key.X),
-		Y: size.Y * float64(key.Y),
-		Z: size.Z * float64(key.Z),
-	})
-	return geom.NewBox(min, min.Add(size))
+	return key.Box(bounds, fanout)
 }
 
 // touch marks f as most recently used for budget eviction. Safe under the

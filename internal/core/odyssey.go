@@ -43,6 +43,19 @@ type Config struct {
 	// unchanged — only the redundant physical work is. Default off: every
 	// query pays its own I/O, the original cost model bit for bit.
 	ShareScans bool
+	// CacheResults turns on the epoch-scoped result cache: completed
+	// partition scans and merge-segment reads are retained keyed on
+	// (dataset, cell, layout epoch), so later queries of the same cells —
+	// and queries whose extended window is contained in a cached region —
+	// are answered without device reads. The cache is flushed on every
+	// layout publish through bumpLayoutEpoch, results are byte-identical to
+	// the uncached engine. Default off: behavior and I/O accounting are
+	// bit-for-bit the original model.
+	CacheResults bool
+	// CacheCapacity bounds the result cache in cached objects (<= 0
+	// defaults to DefaultCacheCapacity). Eviction is heat-aware: coldest
+	// entries (fewest hits, oldest among equals) leave first.
+	CacheCapacity int64
 }
 
 // DefaultConfig returns the paper's configuration: rt=4, ppl=64, mt=2,
@@ -147,6 +160,10 @@ type Odyssey struct {
 	buildMu  sync.Mutex
 	building map[object.DatasetID]chan struct{}
 
+	// rcache is the epoch-scoped result cache; nil unless
+	// Config.CacheResults is set. See resultcache.go.
+	rcache *resultCache
+
 	// layoutEpoch counts physical-layout changes: level-0 builds,
 	// refinements (query- and merge-time) and merge-file evictions. The
 	// steady-state fast path uses it to recognize that a previously futile
@@ -213,6 +230,14 @@ func New(dev simdisk.Storage, raws []*rawfile.Raw, bounds geom.Box, cfg Config) 
 		o.scans = newScanRegistry()
 		o.building = make(map[object.DatasetID]chan struct{})
 		dev.SetShareReads(true)
+	}
+	if cfg.CacheResults {
+		o.rcache = newResultCache(bounds, cfg.CacheCapacity)
+	}
+	if o.scans != nil || o.rcache != nil {
+		// The share-reader hook carries both layers: single-flight scan
+		// attachment (sharing) and result retention (caching); either one
+		// alone still needs the hook installed.
 		for ds, tree := range trees {
 			tree.ShareReader = o.shareReaderFor(ds, tree)
 		}
@@ -257,7 +282,7 @@ func (o *Odyssey) AddRaw(raw *rawfile.Raw) error {
 	if err != nil {
 		return err
 	}
-	if o.scans != nil {
+	if o.scans != nil || o.rcache != nil {
 		tree.ShareReader = o.shareReaderFor(raw.Dataset(), tree)
 	}
 	o.trees[raw.Dataset()] = tree
@@ -439,6 +464,34 @@ func (o *Odyssey) queryTreeAsync(ctx context.Context, tree *octree.Tree, lk *syn
 	return res, err
 }
 
+// answerContained tries to answer one dataset's share of a query entirely
+// from the result cache: under the dataset's shared tree lock (so Built and
+// MaxExtent are stable) it extends the query window by the tree's max
+// object half-extent and probes the cache for a region containing it. On a
+// hit the cached region content is filtered by the original query box —
+// exact, because every object intersecting q has its center inside the
+// extended window, hence inside the region. Only called with caching on.
+func (o *Odyssey) answerContained(ds object.DatasetID, tree *octree.Tree, q geom.Box) ([]object.Object, bool) {
+	lk := o.treeMu[ds]
+	lk.RLock()
+	defer lk.RUnlock()
+	if !tree.Built() {
+		return nil, false
+	}
+	ext := q.Expand(tree.MaxExtent())
+	objs, ok := o.rcache.AnswerContained(ds, tree.FanoutPerDim(), o.layoutEpoch.Load(), ext)
+	if !ok {
+		return nil, false
+	}
+	var out []object.Object
+	for _, obj := range objs {
+		if obj.Intersects(q) {
+			out = append(out, obj)
+		}
+	}
+	return out, true
+}
+
 // Query implements engine.Engine: it executes the paper's full pipeline —
 // statistics, merge-file routing (exact / superset / subset / none),
 // incremental indexing with per-query refinement, merge-file reads, and the
@@ -461,6 +514,13 @@ func (o *Odyssey) Query(q geom.Box, datasets []object.DatasetID) ([]object.Objec
 func (o *Odyssey) QueryCtx(ctx context.Context, q geom.Box, datasets []object.DatasetID) ([]object.Object, error) {
 	if err := simdisk.CheckCtx(ctx); err != nil {
 		return nil, err
+	}
+	// With caching on, a per-query scope rides the context so the layers
+	// that actually perform device I/O can mark it; a query whose scope
+	// stays clean is counted as served with zero device reads.
+	var scope *cacheScope
+	if o.rcache != nil {
+		ctx, scope = withCacheScope(ctx)
 	}
 	ordered := append([]object.DatasetID(nil), datasets...)
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
@@ -511,6 +571,21 @@ func (o *Odyssey) QueryCtx(ctx context.Context, q geom.Box, datasets []object.Da
 	var phases PhaseTimes
 	for _, ds := range ordered {
 		tree := o.trees[ds]
+		if o.rcache != nil {
+			// Containment answering: a query whose extended window lies
+			// inside a cached region is answered by filtering the region's
+			// objects — no build, no walk, no merge routing, zero device
+			// reads for this dataset. Objects are keyed by center, so every
+			// object intersecting q has its center inside the extended
+			// window and therefore inside the cached cell; filtering the
+			// full cell content is exact. Partition statistics are not
+			// accumulated for contained answers (there was no walk); the
+			// layout keeps converging from the queries that do walk.
+			if objs, ok := o.answerContained(ds, tree, q); ok {
+				out = append(out, objs...)
+				continue
+			}
+		}
 		if o.scans != nil {
 			// Single-flight the level-0 first touch: one builder per
 			// dataset, concurrent queries wait on the build instead of
@@ -519,6 +594,9 @@ func (o *Odyssey) QueryCtx(ctx context.Context, q geom.Box, datasets []object.Da
 			if err != nil {
 				o.mu.RUnlock()
 				return nil, fmt.Errorf("core: dataset %d: %w", ds, err)
+			}
+			if bt > 0 {
+				missCacheScope(ctx)
 			}
 			phases.LevelZeroBuild += bt
 		}
@@ -551,6 +629,12 @@ func (o *Odyssey) QueryCtx(ctx context.Context, q geom.Box, datasets []object.Da
 			o.mu.RUnlock()
 			return nil, fmt.Errorf("core: dataset %d: %w", ds, err)
 		}
+		if o.rcache != nil && (res.BuildTime > 0 || res.RefineTime > 0 || res.Refined > 0) {
+			// Builds and refinements read the device outside the
+			// share-reader hook; a query that triggered either was not
+			// answered read-free.
+			missCacheScope(ctx)
+		}
 		if len(res.WantRefine) > 0 {
 			wants = append(wants, dsWants{ds: ds, keys: res.WantRefine})
 		}
@@ -575,12 +659,36 @@ func (o *Odyssey) QueryCtx(ctx context.Context, q geom.Box, datasets []object.Da
 			b := mf.entries[reads[j].entry][reads[j].ds].run.Start
 			return a < b
 		})
+		// Merge segments cache like partitions: a segment is the full
+		// per-dataset content of its entry cell, so the entry key and its
+		// cell box are the cache's (cell, region) metadata. Merged cells
+		// are frozen coarse (merged partitions are never refined, §3.2.2),
+		// which makes their cached regions the prime source of containment
+		// answers.
+		var qEpoch int64
+		var fanout int
+		if o.rcache != nil {
+			qEpoch = o.layoutEpoch.Load()
+			fanout = o.trees[ordered[0]].FanoutPerDim()
+		}
 		t0 := o.dev.Clock()
 		for _, r := range reads {
-			objs, err := o.merger.ReadSegmentCtx(ctx, mf, r.entry, r.ds)
-			if err != nil {
-				o.mu.RUnlock()
-				return nil, err
+			var objs []object.Object
+			hit := false
+			if o.rcache != nil {
+				objs, hit = o.rcache.Lookup(r.ds, r.entry, qEpoch)
+			}
+			if !hit {
+				var err error
+				objs, err = o.merger.ReadSegmentCtx(ctx, mf, r.entry, r.ds)
+				if err != nil {
+					o.mu.RUnlock()
+					return nil, err
+				}
+				if o.rcache != nil {
+					missCacheScope(ctx)
+					o.rcache.Insert(r.ds, r.entry, qEpoch, EntryBox(o.bounds, r.entry, fanout), objs)
+				}
 			}
 			for _, obj := range objs {
 				if obj.Intersects(q) {
@@ -600,6 +708,14 @@ func (o *Odyssey) QueryCtx(ctx context.Context, q geom.Box, datasets []object.Da
 	o.partsFromTree += len(touched) - servedLeaves
 	o.stats.RecordPartitions(key, touched)
 	o.statsMu.Unlock()
+
+	// The read side is complete; a scope no I/O layer marked means every
+	// partition and segment came from the result cache (or another query's
+	// in-flight scan) — the query cost zero device reads. The merge step
+	// below is layout maintenance, not query reading, and is not attributed.
+	if scope != nil && !scope.missed.Load() {
+		o.rcache.zeroReads.Add(1)
+	}
 
 	o.merger.OnQuery()
 	// A context that expired after the read side completed skips the merge
@@ -890,6 +1006,18 @@ func (o *Odyssey) AsyncMaintenance() bool { return o.maint != nil }
 
 // ShareScans reports whether cross-query work sharing is on.
 func (o *Odyssey) ShareScans() bool { return o.scans != nil }
+
+// CacheResults reports whether the epoch-scoped result cache is on.
+func (o *Odyssey) CacheResults() bool { return o.rcache != nil }
+
+// CacheStats snapshots the result-cache ledger (all zero when
+// Config.CacheResults is off).
+func (o *Odyssey) CacheStats() CacheStats {
+	if o.rcache == nil {
+		return CacheStats{}
+	}
+	return o.rcache.Stats()
+}
 
 // SharingStats snapshots the engine-layer scan-sharing counters (all zero
 // when Config.ShareScans is off). The device-layer counters (coalesced run

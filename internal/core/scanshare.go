@@ -23,7 +23,9 @@ type SharingStats struct {
 	// level-0 build instead of herding on the tree's exclusive lock.
 	SharedBuilds int64
 	// Invalidations is how many times a layout publish (refinement, merge,
-	// eviction) flushed the in-flight scan registry.
+	// eviction) actually flushed in-flight entries from the scan registry.
+	// Publishes that found the registry empty are not counted — the field
+	// measures flushes of real in-flight work, not publish frequency.
 	Invalidations int64
 }
 
@@ -75,51 +77,76 @@ func newScanRegistry() *scanRegistry {
 // pre-publish scan.
 func (r *scanRegistry) Invalidate() {
 	r.mu.Lock()
-	if len(r.inflight) > 0 {
+	flushed := len(r.inflight) > 0
+	if flushed {
 		r.inflight = make(map[scanKey]*scanEntry)
 	}
 	r.mu.Unlock()
-	r.invalidations.Add(1)
+	// Count only flushes that dropped real in-flight work: a publish over
+	// an empty registry is a no-op, and counting it would make the
+	// Invalidations ledger track publish frequency instead of flushes.
+	if flushed {
+		r.invalidations.Add(1)
+	}
 }
 
 // readThrough is the single-flight read: attach to a matching in-flight
 // scan, or lead one and fan its result out. read performs the actual
 // partition I/O. epoch is the owning tree's current layout epoch.
+//
+// When a leader's read fails (cancellation, an injected fault), its waiters
+// do not each fall back to an independent read — that would be a thundering
+// herd of N redundant scans, the exact failure mode this registry exists to
+// prevent. Instead every waiter re-enters the single-flight path: a failed
+// leader deregisters its entry before publishing, so the first waiter back
+// through the registry lock becomes the one new leader and the rest attach
+// to it. failed remembers the entry whose error we just observed: if it is
+// somehow still registered (it cannot re-succeed), it is displaced rather
+// than re-attached, guaranteeing progress.
 func (r *scanRegistry) readThrough(ctx context.Context, key scanKey, epoch int64,
 	read func(context.Context) ([]object.Object, error)) ([]object.Object, error) {
-	r.mu.Lock()
-	if e, ok := r.inflight[key]; ok && e.epoch == epoch {
-		r.mu.Unlock()
-		if err := simdisk.WaitDone(ctx, e.done); err != nil {
-			return nil, err
-		}
-		if e.err != nil {
-			// The leader failed; its outcome (cancellation, an injected
-			// fault) is not ours. Read independently.
+	var failed *scanEntry
+	for {
+		r.mu.Lock()
+		if e, ok := r.inflight[key]; ok && e.epoch == epoch && e != failed {
+			r.mu.Unlock()
+			if err := simdisk.WaitDone(ctx, e.done); err != nil {
+				return nil, err
+			}
+			if e.err != nil {
+				// The leader failed; its outcome is not ours. Re-enter the
+				// single-flight path: exactly one waiter retries the read.
+				failed = e
+				continue
+			}
+			r.attached.Add(1)
+			return e.objs, nil
+		} else if ok && e.epoch != epoch {
+			// An entry from another epoch is still in flight (defensive:
+			// the lock discipline should make this unobservable). Do not
+			// attach and do not displace it — just read directly.
+			r.mu.Unlock()
 			return read(ctx)
 		}
-		r.attached.Add(1)
-		return e.objs, nil
-	} else if ok {
-		// An entry from another epoch is still in flight (defensive: the
-		// lock discipline should make this unobservable). Do not attach and
-		// do not displace it — just read directly.
+		// No attachable entry (or only the failed one we just waited out,
+		// which is displaced): lead the read ourselves.
+		e := &scanEntry{epoch: epoch, done: make(chan struct{})}
+		r.inflight[key] = e
 		r.mu.Unlock()
-		return read(ctx)
-	}
-	e := &scanEntry{epoch: epoch, done: make(chan struct{})}
-	r.inflight[key] = e
-	r.mu.Unlock()
 
-	e.objs, e.err = read(ctx)
+		e.objs, e.err = read(ctx)
 
-	r.mu.Lock()
-	if r.inflight[key] == e {
-		delete(r.inflight, key)
+		// Deregister before publishing: a waiter that observes the error
+		// must find the entry gone (or replaced) when it loops back, so the
+		// retry single-flights instead of re-attaching to a dead scan.
+		r.mu.Lock()
+		if r.inflight[key] == e {
+			delete(r.inflight, key)
+		}
+		r.mu.Unlock()
+		close(e.done)
+		return e.objs, e.err
 	}
-	r.mu.Unlock()
-	close(e.done)
-	return e.objs, e.err
 }
 
 // Stats snapshots the registry counters.
@@ -132,20 +159,58 @@ func (r *scanRegistry) Stats() SharingStats {
 }
 
 // shareReaderFor builds the octree.Tree.ShareReader hook routing one
-// dataset's query-path partition reads through the registry.
+// dataset's query-path partition reads through the serving stack: the
+// result cache first (an exact (dataset, cell, epoch) hit costs nothing),
+// then the in-flight scan registry (sharing on), then the actual device
+// read — whose completed result is retained in the cache for queries that
+// arrive after the scan finished. The partition carries the region metadata
+// (cell key and box) the cache keys exact and containment answering on.
 func (o *Odyssey) shareReaderFor(ds object.DatasetID, tree *octree.Tree) func(context.Context, *octree.Partition, func(context.Context) ([]object.Object, error)) ([]object.Object, error) {
 	return func(ctx context.Context, p *octree.Partition, read func(context.Context) ([]object.Object, error)) ([]object.Object, error) {
-		return o.scans.readThrough(ctx, scanKey{ds: ds, cell: p.Key()}, tree.Epoch(), read)
+		var epoch int64
+		if o.rcache != nil {
+			// The epoch is loaded before the read: a layout publish racing
+			// the read flushes the cache and leaves the later insert dead on
+			// arrival (its stored epoch can never match a future lookup) —
+			// conservative, never wrong.
+			epoch = o.layoutEpoch.Load()
+			if objs, ok := o.rcache.Lookup(ds, p.Key(), epoch); ok {
+				return objs, nil
+			}
+			inner := read
+			read = func(ctx context.Context) ([]object.Object, error) {
+				// Only the goroutine performing the device read marks its
+				// own query's scope; queries attached to this scan stay
+				// clean (they charged no device read).
+				missCacheScope(ctx)
+				return inner(ctx)
+			}
+		}
+		var objs []object.Object
+		var err error
+		if o.scans != nil {
+			objs, err = o.scans.readThrough(ctx, scanKey{ds: ds, cell: p.Key()}, tree.Epoch(), read)
+		} else {
+			objs, err = read(ctx)
+		}
+		if err == nil && o.rcache != nil {
+			o.rcache.Insert(ds, p.Key(), epoch, p.Box(), objs)
+		}
+		return objs, err
 	}
 }
 
-// bumpLayoutEpoch publishes a layout change: the global epoch advances and
-// the scan registry (when sharing is on) is flushed so no new reader
-// attaches to a pre-publish scan.
+// bumpLayoutEpoch publishes a layout change: the global epoch advances, the
+// scan registry (when sharing is on) is flushed so no new reader attaches
+// to a pre-publish scan, and the result cache (when caching is on) is
+// flushed so no post-publish query is answered from a pre-publish scan.
 func (o *Odyssey) bumpLayoutEpoch() {
 	o.layoutEpoch.Add(1)
 	if o.scans != nil {
 		o.scans.Invalidate()
+	}
+	if o.rcache != nil {
+		o.rcache.Invalidate()
 	}
 }
 

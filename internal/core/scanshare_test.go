@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"spaceodyssey/internal/engine"
 	"spaceodyssey/internal/geom"
@@ -193,6 +195,84 @@ func TestScanRegistryAttachAndInvalidate(t *testing.T) {
 	}
 	if !fellBack {
 		t.Fatal("attacher inherited the failed leader's outcome")
+	}
+}
+
+// TestScanRegistryFailedLeaderSingleRetry is the herd-regression contract:
+// when a leader's read fails, its waiters must re-enter the single-flight
+// path so exactly one of them is charged the retry read — not one
+// independent read per waiter, the thundering herd the registry exists to
+// prevent. A doomed leader is registered by hand, a herd parks on it, and
+// it is failed the way a real leader fails (deregister, then publish); the
+// retry leader's read is gated so the rest of the herd attaches to it.
+func TestScanRegistryFailedLeaderSingleRetry(t *testing.T) {
+	r := newScanRegistry()
+	key := scanKey{ds: 2, cell: testKeyAt(1, 1, 1, 0)}
+	want := []object.Object{{ID: 42, Dataset: 2}}
+
+	doomed := &scanEntry{epoch: 3, done: make(chan struct{})}
+	r.mu.Lock()
+	r.inflight[key] = doomed
+	r.mu.Unlock()
+
+	var reads atomic.Int64
+	gate := make(chan struct{})
+	read := func(context.Context) ([]object.Object, error) {
+		reads.Add(1)
+		<-gate
+		return want, nil
+	}
+	const waiters = 8
+	results := make([][]object.Object, waiters)
+	errs := make([]error, waiters)
+	var wg sync.WaitGroup
+	for g := 0; g < waiters; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[g], errs[g] = r.readThrough(nil, key, 3, read)
+		}()
+	}
+
+	// Fail the leader in the order a real one publishes: deregister under
+	// the lock, then close done. Every parked waiter wakes and loops back;
+	// mutex serialization makes exactly one the retry leader. (A goroutine
+	// that never parked on the doomed entry attaches to the retry leader's
+	// registration instead — same coalescing, same count.)
+	doomed.err = context.DeadlineExceeded
+	r.mu.Lock()
+	delete(r.inflight, key)
+	r.mu.Unlock()
+	close(doomed.done)
+
+	// Hold the retry leader's read open until the rest of the herd has had
+	// time to loop back and attach, then release it.
+	deadline := time.Now().Add(5 * time.Second)
+	for reads.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no waiter retried the failed leader's read")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	for g := 0; g < waiters; g++ {
+		if errs[g] != nil {
+			t.Fatalf("waiter %d inherited the dead leader's outcome: %v", g, errs[g])
+		}
+		if len(results[g]) != 1 || results[g][0].ID != want[0].ID {
+			t.Fatalf("waiter %d got %v, want the retry leader's objects", g, results[g])
+		}
+	}
+	if n := reads.Load(); n != 1 {
+		t.Fatalf("failed leader triggered %d retry reads, want exactly 1 (thundering herd)", n)
+	}
+	if st := r.Stats(); st.AttachedScans != waiters-1 {
+		t.Fatalf("AttachedScans = %d, want %d (every non-leader attached the retry)",
+			st.AttachedScans, waiters-1)
 	}
 }
 

@@ -19,6 +19,40 @@ import (
 // comma-separated ids).
 type ComboKey string
 
+// CacheStats is the result-cache ledger (Config.CacheResults): what the
+// epoch-scoped cache saved and how it is being maintained. All zeros with
+// caching off. See resultcache.go for the mechanism.
+type CacheStats struct {
+	// Hits counts partition and merge-segment reads answered from the
+	// cache: an exact (dataset, cell) match within the current layout epoch.
+	Hits int64
+	// ContainmentHits counts whole per-dataset answers served by filtering
+	// a cached region that contains the query's extended window — zero
+	// device reads, no tree walk.
+	ContainmentHits int64
+	// Misses counts exact lookups that found nothing (or only a dead entry
+	// from an older epoch).
+	Misses int64
+	// Inserts counts completed scans retained.
+	Inserts int64
+	// Evictions counts entries removed by the capacity bound (coldest
+	// first).
+	Evictions int64
+	// Invalidations counts layout publishes that actually flushed cached
+	// entries. Publishes that found the cache empty are not counted — the
+	// field measures flushes, not publish frequency (the same semantics as
+	// SharingStats.Invalidations).
+	Invalidations int64
+	// ZeroReadQueries counts queries whose whole read side was served
+	// without any device read: every partition or segment came from the
+	// cache (or from another query's in-flight scan). Maintenance I/O
+	// (refinement, merging) is not attributed to queries here.
+	ZeroReadQueries int64
+	// Entries and CachedObjects describe the current cache occupancy.
+	Entries       int
+	CachedObjects int64
+}
+
 // KeyOf returns the canonical key for a set of datasets.
 func KeyOf(datasets []object.DatasetID) ComboKey {
 	ids := append([]object.DatasetID(nil), datasets...)

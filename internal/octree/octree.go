@@ -100,6 +100,26 @@ func (k Key) AncestorOf(other Key, fanoutPerDim int) bool {
 	return other.Ancestor(k.Level, fanoutPerDim) == k
 }
 
+// Box returns k's cell as a spatial box within bounds, for trees of the
+// given per-dimension fanout. It is the region metadata consumers of
+// partition reads key spatial decisions on: the engine's result cache uses
+// it for containment answering (a query window inside the box is fully
+// answerable from the cell's content), the merger for diagnostics. Keys of
+// live partitions satisfy p.Box() == p.Key().Box(bounds, fanout).
+func (k Key) Box(bounds geom.Box, fanoutPerDim int) geom.Box {
+	cellsPerDim := 1
+	for i := uint8(0); i < k.Level; i++ {
+		cellsPerDim *= fanoutPerDim
+	}
+	size := bounds.Size().Div(float64(cellsPerDim))
+	min := bounds.Min.Add(geom.Vec{
+		X: size.X * float64(k.X),
+		Y: size.Y * float64(k.Y),
+		Z: size.Z * float64(k.Z),
+	})
+	return geom.NewBox(min, min.Add(size))
+}
+
 // Partition is a leaf of the tree: a spatial cell plus the disk runs holding
 // the objects whose centers fall inside it.
 type Partition struct {
@@ -153,9 +173,12 @@ type Tree struct {
 	// ShareReader, when non-nil, intercepts leaf-partition reads on the
 	// query path (QueryCtx's non-refining reads and QueryReadOnlyCtx): it is
 	// called with the partition and a read function performing the actual
-	// I/O, and may serve the objects from an attached in-flight scan
-	// instead. The returned slice must be treated as read-only — it may be
-	// shared with concurrent queries. Set once before queries run.
+	// I/O, and may serve the objects from an attached in-flight scan or a
+	// result cache instead. The partition carries the region metadata such
+	// interceptors key on — its cell Key and spatial Box — and its content
+	// is immutable for the duration of the caller's shared tree lock. The
+	// returned slice must be treated as read-only — it may be shared with
+	// concurrent queries. Set once before queries run.
 	ShareReader func(ctx context.Context, p *Partition, read func(context.Context) ([]object.Object, error)) ([]object.Object, error)
 
 	// Refinements counts completed refinement operations (for stats).

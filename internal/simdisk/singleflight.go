@@ -55,50 +55,70 @@ func WaitDone(ctx context.Context, ch <-chan struct{}) error {
 // slice may alias the leader's buffer, which callers must treat as
 // read-only (every caller in this repository decodes out of it and drops
 // it, never writes into it).
+//
+// When a leader fails (fault injection, cancellation, a concurrent delete),
+// its waiters do not each fall back to an independent readRunDirect — N
+// waiters would charge N redundant reads, a thundering herd on the device.
+// Instead each waiter loops back through the coalescing path: the failed
+// leader deregistered its run before publishing, so the first waiter back
+// through the registry becomes the one new leader (charged once) and the
+// rest attach to it. failed remembers the run whose error was just
+// observed so a stale registration can never be re-attached.
 func (d *Device) readRunShared(ctx context.Context, id FileID, start, n int64) ([]byte, error) {
-	d.sfMu.Lock()
-	for _, fl := range d.sfInflight[id] {
-		if fl.start <= start && start+n <= fl.start+fl.n {
+	var failed *inflightRun
+	for {
+		d.sfMu.Lock()
+		var attach *inflightRun
+		for _, fl := range d.sfInflight[id] {
+			if fl != failed && fl.start <= start && start+n <= fl.start+fl.n {
+				attach = fl
+				break
+			}
+		}
+		if attach == nil {
+			fl := &inflightRun{start: start, n: n, done: make(chan struct{})}
+			d.sfInflight[id] = append(d.sfInflight[id], fl)
 			d.sfMu.Unlock()
-			if err := WaitDone(ctx, fl.done); err != nil {
-				d.canceledOps.Add(1)
-				return nil, err
-			}
-			if fl.err != nil {
-				// The leader failed (fault injection, cancellation, a
-				// concurrent delete); its outcome is not ours — perform the
-				// read independently.
-				return d.readRunDirect(ctx, id, start, n)
-			}
-			d.coalescedReads.Add(1)
-			d.coalescedPages.Add(n)
-			off := (start - fl.start) * PageSize
-			return fl.buf[off : off+n*PageSize : off+n*PageSize], nil
-		}
-	}
-	fl := &inflightRun{start: start, n: n, done: make(chan struct{})}
-	d.sfInflight[id] = append(d.sfInflight[id], fl)
-	d.sfMu.Unlock()
 
-	fl.buf, fl.err = d.readRunDirect(ctx, id, start, n)
+			fl.buf, fl.err = d.readRunDirect(ctx, id, start, n)
 
-	d.sfMu.Lock()
-	runs := d.sfInflight[id]
-	for i, f := range runs {
-		if f == fl {
-			runs[i] = runs[len(runs)-1]
-			runs = runs[:len(runs)-1]
-			break
+			// Deregister before publishing so waiters that observe the
+			// error re-enter a registry this run is gone from — their retry
+			// single-flights instead of re-attaching to a dead run.
+			d.sfMu.Lock()
+			runs := d.sfInflight[id]
+			for i, f := range runs {
+				if f == fl {
+					runs[i] = runs[len(runs)-1]
+					runs = runs[:len(runs)-1]
+					break
+				}
+			}
+			if len(runs) == 0 {
+				delete(d.sfInflight, id)
+			} else {
+				d.sfInflight[id] = runs
+			}
+			d.sfMu.Unlock()
+			close(fl.done)
+			return fl.buf, fl.err
 		}
+		d.sfMu.Unlock()
+		if err := WaitDone(ctx, attach.done); err != nil {
+			d.canceledOps.Add(1)
+			return nil, err
+		}
+		if attach.err != nil {
+			// The leader failed; its outcome is not ours. Re-enter the
+			// coalescing path: exactly one waiter is charged the retry.
+			failed = attach
+			continue
+		}
+		d.coalescedReads.Add(1)
+		d.coalescedPages.Add(n)
+		off := (start - attach.start) * PageSize
+		return attach.buf[off : off+n*PageSize : off+n*PageSize], nil
 	}
-	if len(runs) == 0 {
-		delete(d.sfInflight, id)
-	} else {
-		d.sfInflight[id] = runs
-	}
-	d.sfMu.Unlock()
-	close(fl.done)
-	return fl.buf, fl.err
 }
 
 // SetShareReads fans the coalescing switch out to every member device.

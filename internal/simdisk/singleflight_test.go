@@ -207,6 +207,72 @@ func TestSingleFlightLeaderFailureFallsBack(t *testing.T) {
 	}
 }
 
+// TestSingleFlightFailedLeaderSingleRetry is the herd-regression contract
+// at the device layer: when a leader's read fails, its waiters must loop
+// back through the coalescing path so exactly one retry read is charged —
+// not one independent readRunDirect per waiter. A doomed run is registered
+// by hand and a herd parks on it; failing it (deregister, then publish)
+// wakes the herd, mutex serialization picks one retry leader, and the
+// real-time stretched retry read holds its registration open so the rest
+// attach to it.
+func TestSingleFlightFailedLeaderSingleRetry(t *testing.T) {
+	const pages = 8
+	d, id := sfTestDevice(t, pages, 0)
+	want := d.cost.Seek + time.Duration(pages)*d.cost.Transfer
+	d.SetRealTimeScale(float64(250*time.Millisecond) / float64(want))
+
+	doomed := &inflightRun{start: 0, n: pages, done: make(chan struct{})}
+	d.sfMu.Lock()
+	d.sfInflight[id] = append(d.sfInflight[id], doomed)
+	d.sfMu.Unlock()
+
+	const waiters = 4
+	bufs := make([][]byte, waiters)
+	errs := make([]error, waiters)
+	var wg sync.WaitGroup
+	for g := 0; g < waiters; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bufs[g], errs[g] = d.ReadRun(id, 0, pages)
+		}()
+	}
+
+	// Fail the doomed leader the way a real one publishes: deregister under
+	// the lock, then close done. (A waiter that never parked on it simply
+	// finds the retry leader's registration instead — same coalescing.)
+	doomed.err = errors.New("bang")
+	d.sfMu.Lock()
+	delete(d.sfInflight, id)
+	d.sfMu.Unlock()
+	close(doomed.done)
+	wg.Wait()
+
+	for g := 0; g < waiters; g++ {
+		if errs[g] != nil {
+			t.Fatalf("waiter %d inherited the dead leader's outcome: %v", g, errs[g])
+		}
+		for p := int64(0); p < pages; p++ {
+			if bufs[g][p*PageSize] != byte(p) || bufs[g][p*PageSize+1] != byte(p+1) {
+				t.Fatalf("waiter %d: page %d bytes corrupted", g, p)
+			}
+		}
+	}
+	st := d.Stats()
+	if st.PageReads != pages {
+		t.Fatalf("PageReads = %d, want exactly one retry read's %d (thundering herd)",
+			st.PageReads, pages)
+	}
+	if st.CoalescedReads != waiters-1 || st.CoalescedPages != (waiters-1)*pages {
+		t.Fatalf("coalescing counters = %d reads / %d pages, want %d / %d",
+			st.CoalescedReads, st.CoalescedPages, waiters-1, (waiters-1)*pages)
+	}
+	if d.inflightRuns(id) != 0 {
+		t.Fatal("in-flight registry leaked entries")
+	}
+}
+
 // TestSingleFlightConcurrentStorm hammers one file from many goroutines
 // with overlapping and disjoint ranges under the race detector and checks
 // the byte contents of every read.

@@ -53,6 +53,8 @@ type (
 	// MaintenanceStats counts the background maintenance pipeline's
 	// activity (see Options.AsyncMaintenance).
 	MaintenanceStats = core.MaintenanceStats
+	// CacheStats is the result-cache ledger (see Options.CacheResults).
+	CacheStats = core.CacheStats
 	// Query couples a range with the datasets it targets.
 	Query = workload.Query
 	// MergeLevelPolicy selects the mixed-refinement-level merge strategy.
