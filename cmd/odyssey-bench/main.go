@@ -32,6 +32,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	odyssey "spaceodyssey"
@@ -70,6 +71,8 @@ func main() {
 		share      = flag.Bool("share", false, "with -parallel: compare ShareScans off vs on under an overlapping hot-region pooled workload (coalesced reads, pages saved, byte-identical results), writing BENCH_sharing.json fields via -json")
 		cacheCmp   = flag.Bool("cache", false, "with -parallel: compare CacheResults off vs on under a zipf hot-region pooled workload (exact + containment cache hits, zero-device-read queries, byte-identical results), writing BENCH_cache.json fields via -json; composes with -share and -async")
 		batchWin   = flag.Duration("batchwindow", 2*time.Millisecond, "dispatcher micro-batch window for the -share comparison's sharing mode (0 disables batching)")
+		contention = flag.Bool("contention", false, "with -parallel -async: additionally replay the cold async pass with the background I/O budget on (-maintbudget), reporting foreground latency percentiles under mixed query+maintenance contention, throttled vs unthrottled")
+		maintBgt   = flag.Float64("maintbudget", 0.2, "background I/O budget fraction for -contention: the share of platter busy time maintenance may consume while foreground queries are in flight")
 	)
 	flag.Parse()
 
@@ -134,6 +137,14 @@ func main() {
 		if *queueWait != 0 && *maxInFl == 0 {
 			fatalf("-queuewait needs -maxinflight (there is no slot wait without an in-flight cap)")
 		}
+		if *contention {
+			if !*asyncCmp || *share || *cacheCmp {
+				fatalf("-contention needs -async without -share/-cache (it extends the async-maintenance comparison)")
+			}
+			if *maintBgt <= 0 || *maintBgt >= 1 {
+				fatalf("-maintbudget must be in (0,1)")
+			}
+		}
 		if *cacheCmp {
 			if *deadline != 0 || *maxInFl != 0 || *queueWait != 0 {
 				fatalf("-deadline/-maxinflight/-queuewait cannot be combined with -cache (the comparison measures raw caching gains)")
@@ -152,7 +163,7 @@ func main() {
 			if *deadline != 0 || *maxInFl != 0 || *queueWait != 0 {
 				fatalf("-deadline/-maxinflight/-queuewait cannot be combined with -async (the comparison measures raw serving latency)")
 			}
-			runAsyncServing(cfg, wcfg, *parallel, *rtScale, *maintWk, *jsonPath)
+			runAsyncServing(cfg, wcfg, *parallel, *rtScale, *maintWk, *jsonPath, *contention, *maintBgt)
 			return
 		}
 		adm := odyssey.AdmissionConfig{
@@ -165,6 +176,9 @@ func main() {
 	}
 	if *asyncCmp {
 		fatalf("-async needs -parallel (it compares pooled serving under both maintenance modes)")
+	}
+	if *contention {
+		fatalf("-contention needs -parallel -async (it measures the pooled serving experiment under maintenance contention)")
 	}
 	if *share {
 		fatalf("-share needs -parallel (sharing only pays off across concurrent queries)")
@@ -462,7 +476,15 @@ func runParallelServing(cfg bench.Config, wcfg bench.WorkloadConfig, workers int
 // time-to-convergence. The report (stdout + optional JSON) carries p50/p95/
 // p99 per-query wall latency, simulated time, convergence wall time and
 // pass count, and the async maintenance ledger.
-func runAsyncServing(cfg bench.Config, wcfg bench.WorkloadConfig, workers int, scale float64, maintWorkers int, jsonPath string) {
+//
+// With contention set, the cold async pass runs a third time with the
+// background I/O budget on (Options.MaintenanceBudget = maintBudget):
+// maintenance device operations wait, wall-clock only, whenever foreground
+// queries are in flight and maintenance exceeds its share of platter busy
+// time. The report's contention section compares foreground latency
+// percentiles throttled vs unthrottled — same queries, same layout work,
+// byte-identical results; only when maintenance I/O runs moves.
+func runAsyncServing(cfg bench.Config, wcfg bench.WorkloadConfig, workers int, scale float64, maintWorkers int, jsonPath string, contention bool, maintBudget float64) {
 	spec, err := bench.FigureByID("fig4a")
 	if err != nil {
 		fatalf("%v", err)
@@ -494,12 +516,19 @@ func runAsyncServing(cfg bench.Config, wcfg bench.WorkloadConfig, workers int, s
 	fmt.Printf("storage: %d device(s) x %d channel(s), placement %s; maintenance workers (async mode): %d\n\n",
 		cfg.Devices, cfg.Channels, cfg.Placement, maintWorkers)
 
-	runPass := func(ex *odyssey.Explorer) []time.Duration {
+	// runPass replays the workload through a fresh pool. gap > 0 paces the
+	// submissions open-loop (one query per gap) instead of firing the whole
+	// workload at once: per-query wall latency then measures service under
+	// concurrent load rather than position in a saturated queue.
+	runPass := func(ex *odyssey.Explorer, gap time.Duration) []time.Duration {
 		d := odyssey.NewDispatcher(ex, workers)
 		out := make(chan odyssey.BatchResult, len(w.Queries))
 		for i, q := range w.Queries {
 			if err := d.Submit(i, q, out); err != nil {
 				fatalf("submit: %v", err)
+			}
+			if gap > 0 && i < len(w.Queries)-1 {
+				time.Sleep(gap)
 			}
 		}
 		d.Close()
@@ -514,12 +543,13 @@ func runAsyncServing(cfg bench.Config, wcfg bench.WorkloadConfig, workers int, s
 		return lat
 	}
 
-	runMode := func(name string, async bool) asyncModeReport {
+	runMode := func(name string, async bool, budget float64) asyncModeReport {
 		ex, err := odyssey.NewExplorer(odyssey.Options{
 			Bounds: cfg.Bounds, Cost: cfg.Cost, CachePages: cfg.CachePages,
 			DropCachesPerQuery: true,
 			Devices:            cfg.Devices, Channels: cfg.Channels, Placement: policy,
 			AsyncMaintenance: async, MaintenanceWorkers: maintWorkers,
+			MaintenanceBudget: budget,
 		})
 		if err != nil {
 			fatalf("%v", err)
@@ -540,7 +570,7 @@ func runAsyncServing(cfg bench.Config, wcfg bench.WorkloadConfig, workers int, s
 		// adapts (inline in sync mode, in the background in async mode).
 		t0 := time.Now()
 		sim0 := ex.Clock()
-		lat := runPass(ex)
+		lat := runPass(ex, 0)
 		measuredWall := time.Since(t0)
 		// Quiesce before reading the pass's simulated time: in async mode
 		// background maintenance is still charging the clock when the pool
@@ -562,7 +592,7 @@ func runAsyncServing(cfg bench.Config, wcfg bench.WorkloadConfig, workers int, s
 		passes := 1
 		for ; passes < maxPasses; passes++ {
 			before := ex.Metrics()
-			runPass(ex)
+			runPass(ex, 0)
 			if err := ex.Quiesce(context.Background()); err != nil {
 				fatalf("quiesce: %v", err)
 			}
@@ -583,6 +613,7 @@ func runAsyncServing(cfg bench.Config, wcfg bench.WorkloadConfig, workers int, s
 		}
 
 		m := ex.Metrics()
+		disk := ex.DiskStats()
 		rep := asyncModeReport{
 			WallSeconds:            measuredWall.Seconds(),
 			SimSeconds:             measuredSim.Seconds(),
@@ -595,6 +626,9 @@ func runAsyncServing(cfg bench.Config, wcfg bench.WorkloadConfig, workers int, s
 			Refinements:            m.Refinements,
 			PartitionsMerged:       m.PartitionsMerged,
 			MergeFiles:             ex.MergeFileCount(),
+			MaintenanceBudget:      budget,
+			ThrottledOps:           disk.ThrottledOps,
+			QueuedDelaySeconds:     disk.QueuedDelay.Seconds(),
 		}
 		if async {
 			st := ex.MaintenanceStats()
@@ -618,12 +652,16 @@ func runAsyncServing(cfg bench.Config, wcfg bench.WorkloadConfig, workers int, s
 				rep.Maintenance.RefineTasks, rep.Maintenance.MergeTasks,
 				rep.Maintenance.QueueDepthHighWater)
 		}
+		if budget > 0 {
+			fmt.Printf("      budget %.2f: %d maintenance ops gated, %.3fs queueing delay attributed\n",
+				budget, rep.ThrottledOps, rep.QueuedDelaySeconds)
+		}
 		fmt.Println()
 		return rep
 	}
 
-	syncRep := runMode("sync", false)
-	asyncRep := runMode("async", true)
+	syncRep := runMode("sync", false, 0)
+	asyncRep := runMode("async", true, 0)
 
 	report := asyncReport{
 		Experiment: "async-maintenance",
@@ -640,6 +678,11 @@ func runAsyncServing(cfg bench.Config, wcfg bench.WorkloadConfig, workers int, s
 		time.Duration(syncRep.LatencyP99*float64(time.Second)).Round(10*time.Microsecond),
 		time.Duration(asyncRep.LatencyP99*float64(time.Second)).Round(10*time.Microsecond),
 		report.P99Speedup)
+	if contention {
+		fmt.Println()
+		report.Contention = runContention(cfg, wcfg, spec, data, policy,
+			workers, scale, maintWorkers, maintBudget)
+	}
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -650,6 +693,242 @@ func runAsyncServing(cfg bench.Config, wcfg bench.WorkloadConfig, workers int, s
 		}
 		fmt.Printf("(wrote %s)\n", jsonPath)
 	}
+}
+
+// runContention measures the background I/O budget's foreground-QoS effect
+// in the regime it is designed for: interactive queries over CONVERGED
+// datasets — stable, layout-independent cost — served open-loop while
+// background maintenance churns over OTHER datasets. The datasets are split
+// in half: the foreground workload touches only the first half, the churn
+// workload only the second. Per leg (budget off, then -maintbudget) a fresh
+// async engine converges the foreground datasets with emulation disabled
+// (setup, not measurement), then — emulation on — a 2-worker side pool
+// fires the cold churn batch (every query schedules refinement and merge
+// work) while the main pool serves the paced foreground workload and its
+// per-query wall latency is recorded. Foreground queries' own simulated
+// charges are identical across legs (their layout no longer changes); any
+// latency difference is maintenance interference — channel-frontier pushes
+// lengthening foreground emulation sleeps, plus CPU and lock pressure —
+// which the throttle confines to foreground-idle gaps.
+func runContention(cfg bench.Config, wcfg bench.WorkloadConfig, spec bench.FigureSpec,
+	data [][]odyssey.Object, policy odyssey.PlacementPolicy,
+	workers int, scale float64, maintWorkers int, maintBudget float64) *contentionReport {
+
+	fgN := cfg.Datasets / 2
+	if fgN < 1 {
+		fgN = 1
+	}
+	bgN := cfg.Datasets - fgN
+	kOf := func(n int) int {
+		if n < 3 {
+			return n
+		}
+		return 3
+	}
+	wFg, err := workload.Generate(workload.Config{
+		Seed: wcfg.Seed + 101, NumQueries: wcfg.Queries, NumDatasets: fgN,
+		DatasetsPerQuery: kOf(fgN), QueryVolumeFrac: wcfg.QueryVolumeFrac,
+		RangeDist: spec.RangeDist, CombDist: spec.CombDist,
+		ClusterCenters: spec.ClusterCenters,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var bgQueries []workload.Query
+	if bgN > 0 {
+		wBg, err := workload.Generate(workload.Config{
+			Seed: wcfg.Seed + 202, NumQueries: wcfg.Queries, NumDatasets: bgN,
+			DatasetsPerQuery: kOf(bgN), QueryVolumeFrac: wcfg.QueryVolumeFrac,
+			RangeDist: spec.RangeDist, CombDist: spec.CombDist,
+			ClusterCenters: spec.ClusterCenters,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		bgQueries = wBg.Queries
+		// Shift the churn workload onto the background half of the datasets.
+		// Copy each combination first: generated queries may share one
+		// underlying slice (the heavy-hitter combination), and shifting in
+		// place would compound across the queries aliasing it.
+		for i := range bgQueries {
+			shifted := make([]odyssey.DatasetID, len(bgQueries[i].Datasets))
+			for j, d := range bgQueries[i].Datasets {
+				shifted[j] = d + odyssey.DatasetID(fgN)
+			}
+			bgQueries[i].Datasets = shifted
+		}
+	}
+
+	fmt.Printf("contention comparison: foreground = %d converged dataset(s), churn = %d cold queries over %d dataset(s), budget %.2f\n",
+		fgN, len(bgQueries), bgN, maintBudget)
+
+	var gap time.Duration // derived once in the first leg, shared by both
+
+	runLeg := func(name string, budget float64) contentionLegReport {
+		ex, err := odyssey.NewExplorer(odyssey.Options{
+			Bounds: cfg.Bounds, Cost: cfg.Cost, CachePages: cfg.CachePages,
+			DropCachesPerQuery: true,
+			Devices:            cfg.Devices, Channels: cfg.Channels, Placement: policy,
+			AsyncMaintenance: true, MaintenanceWorkers: maintWorkers,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer func() {
+			if err := ex.Close(); err != nil {
+				fatalf("close: %v", err)
+			}
+		}()
+		for i, objs := range data {
+			if err := ex.AddDataset(odyssey.DatasetID(i), objs); err != nil {
+				fatalf("%v", err)
+			}
+		}
+
+		// Converge the foreground datasets with emulation off: replay until a
+		// full pass leaves their layout alone.
+		for pass := 0; pass < 10; pass++ {
+			before := ex.Metrics()
+			for _, q := range wFg.Queries {
+				if _, err := ex.Query(q.Range, q.Datasets); err != nil {
+					fatalf("%v", err)
+				}
+			}
+			if err := ex.Quiesce(context.Background()); err != nil {
+				fatalf("quiesce: %v", err)
+			}
+			after := ex.Metrics()
+			if after.Refinements == before.Refinements &&
+				after.PartitionsMerged == before.PartitionsMerged &&
+				after.MergeEvictions == before.MergeEvictions {
+				break
+			}
+		}
+
+		ex.SetRealTimeScale(scale)
+		if gap == 0 {
+			// Capacity probe (first leg only): one unpaced pooled replay of
+			// the converged foreground workload, no churn. Open-loop arrivals
+			// in both legs then target ~60% of that capacity.
+			t0 := time.Now()
+			d := odyssey.NewDispatcher(ex, workers)
+			out := make(chan odyssey.BatchResult, len(wFg.Queries))
+			for i, q := range wFg.Queries {
+				if err := d.Submit(i, q, out); err != nil {
+					fatalf("probe submit: %v", err)
+				}
+			}
+			d.Close()
+			close(out)
+			for r := range out {
+				if r.Err != nil {
+					fatalf("probe query %d: %v", r.Index, r.Err)
+				}
+			}
+			gap = time.Duration(float64(time.Since(t0)) / (0.6 * float64(len(wFg.Queries))))
+			fmt.Printf("  open-loop arrival gap %v (~60%% of measured foreground capacity)\n",
+				gap.Round(10*time.Microsecond))
+		}
+
+		ex.SetMaintenanceBudget(budget)
+		statsBefore := ex.DiskStats()
+
+		// Churn: a side pool serves the cold background batch, scheduling
+		// refinement and merge maintenance throughout the foreground pass.
+		var bgDisp *odyssey.Dispatcher
+		var bgFeed sync.WaitGroup
+		bgOut := make(chan odyssey.BatchResult, len(bgQueries))
+		if len(bgQueries) > 0 {
+			bgDisp = odyssey.NewDispatcher(ex, 2)
+			bgFeed.Add(1)
+			go func() {
+				defer bgFeed.Done()
+				for i, q := range bgQueries {
+					if err := bgDisp.Submit(i, q, bgOut); err != nil {
+						fatalf("churn submit: %v", err)
+					}
+				}
+			}()
+		}
+
+		// Measured: the foreground workload, paced open-loop.
+		fgDisp := odyssey.NewDispatcher(ex, workers)
+		fgOut := make(chan odyssey.BatchResult, len(wFg.Queries))
+		for i, q := range wFg.Queries {
+			if err := fgDisp.Submit(i, q, fgOut); err != nil {
+				fatalf("submit: %v", err)
+			}
+			if i < len(wFg.Queries)-1 {
+				time.Sleep(gap)
+			}
+		}
+		fgDisp.Close()
+		close(fgOut)
+		lat := make([]time.Duration, 0, len(wFg.Queries))
+		for r := range fgOut {
+			if r.Err != nil {
+				fatalf("worker %d query %d: %v", r.Worker, r.Index, r.Err)
+			}
+			lat = append(lat, r.Wall)
+		}
+
+		if bgDisp != nil {
+			bgFeed.Wait()
+			bgDisp.Close()
+			close(bgOut)
+			for r := range bgOut {
+				if r.Err != nil {
+					fatalf("churn query %d: %v", r.Index, r.Err)
+				}
+			}
+		}
+		// Drain deferred maintenance at full speed before tearing down.
+		ex.SetRealTimeScale(0)
+		ex.SetMaintenanceBudget(0)
+		if err := ex.Quiesce(context.Background()); err != nil {
+			fatalf("quiesce: %v", err)
+		}
+		if err := ex.MaintenanceErr(); err != nil {
+			fatalf("maintenance task failed: %v", err)
+		}
+
+		stats := ex.DiskStats()
+		leg := contentionLegReport{
+			MaintenanceBudget:  budget,
+			LatencyP50:         bench.Percentile(lat, 50).Seconds(),
+			LatencyP95:         bench.Percentile(lat, 95).Seconds(),
+			LatencyP99:         bench.Percentile(lat, 99).Seconds(),
+			ThrottledOps:       stats.ThrottledOps - statsBefore.ThrottledOps,
+			QueuedDelaySeconds: (stats.QueuedDelay - statsBefore.QueuedDelay).Seconds(),
+		}
+		fmt.Printf("%-5s fg latency: p50 %-10v p95 %-10v p99 %v   (%d maintenance waits gated)\n",
+			name, pct(lat, 50), pct(lat, 95), pct(lat, 99), leg.ThrottledOps)
+		return leg
+	}
+
+	unthr := runLeg("unthr", 0)
+	thr := runLeg("thrtl", maintBudget)
+
+	rep := &contentionReport{
+		MaintenanceBudget:           maintBudget,
+		ArrivalGapSeconds:           gap.Seconds(),
+		ForegroundDatasets:          fgN,
+		BackgroundDatasets:          bgN,
+		BackgroundQueries:           len(bgQueries),
+		Unthrottled:                 unthr,
+		Throttled:                   thr,
+		FgP99UnderContentionSeconds: unthr.LatencyP99,
+		FgP99ThrottledSeconds:       thr.LatencyP99,
+	}
+	if thr.LatencyP99 > 0 {
+		rep.P99Improvement = unthr.LatencyP99 / thr.LatencyP99
+	}
+	fmt.Printf("\nfg p99 under churn: unthrottled %v  budget %.2f %v  (%.2fx)\n",
+		time.Duration(rep.FgP99UnderContentionSeconds*float64(time.Second)).Round(10*time.Microsecond),
+		maintBudget,
+		time.Duration(rep.FgP99ThrottledSeconds*float64(time.Second)).Round(10*time.Microsecond),
+		rep.P99Improvement)
+	return rep
 }
 
 // runSharingServing measures scan sharing & single-flight I/O: the same
@@ -1133,7 +1412,14 @@ type asyncModeReport struct {
 	Refinements            int                `json:"refinements"`
 	PartitionsMerged       int                `json:"partitions_merged"`
 	MergeFiles             int                `json:"merge_files"`
-	Maintenance            *maintenanceReport `json:"maintenance,omitempty"`
+	// MaintenanceBudget is the background I/O budget this mode ran under (0
+	// = unthrottled); ThrottledOps counts maintenance device operations the
+	// budget gated, and QueuedDelaySeconds is the total arrival-gated
+	// queueing delay the contention model attributed to queries.
+	MaintenanceBudget  float64            `json:"maintenance_budget"`
+	ThrottledOps       int64              `json:"throttled_ops"`
+	QueuedDelaySeconds float64            `json:"queued_delay_seconds"`
+	Maintenance        *maintenanceReport `json:"maintenance,omitempty"`
 }
 
 // maintenanceReport mirrors odyssey.MaintenanceStats with snake_case keys.
@@ -1151,17 +1437,52 @@ type maintenanceReport struct {
 
 // asyncReport is the machine-readable form of the -async comparison.
 type asyncReport struct {
-	Experiment         string          `json:"experiment"`
-	Devices            int             `json:"devices"`
-	Channels           int             `json:"channels"`
-	Placement          string          `json:"placement"`
-	Workers            int             `json:"workers"`
-	Queries            int             `json:"queries"`
-	RealtimeScale      float64         `json:"realtime_scale"`
-	MaintenanceWorkers int             `json:"maintenance_workers"`
-	Sync               asyncModeReport `json:"sync"`
-	Async              asyncModeReport `json:"async"`
-	P99Speedup         float64         `json:"p99_speedup_sync_over_async"`
+	Experiment         string            `json:"experiment"`
+	Devices            int               `json:"devices"`
+	Channels           int               `json:"channels"`
+	Placement          string            `json:"placement"`
+	Workers            int               `json:"workers"`
+	Queries            int               `json:"queries"`
+	RealtimeScale      float64           `json:"realtime_scale"`
+	MaintenanceWorkers int               `json:"maintenance_workers"`
+	Sync               asyncModeReport   `json:"sync"`
+	Async              asyncModeReport   `json:"async"`
+	P99Speedup         float64           `json:"p99_speedup_sync_over_async"`
+	Contention         *contentionReport `json:"contention,omitempty"`
+}
+
+// contentionReport is the -contention extension of the -async comparison:
+// foreground QoS measured in the regime the background I/O budget targets.
+// The foreground half of the datasets is converged first (stable,
+// layout-independent query cost), then its workload is replayed open-loop
+// (arrivals paced to ~60% of the pool's measured capacity) while a side
+// pool fires cold queries at the remaining datasets, churning refinement
+// and merge maintenance through the whole pass. The two legs differ only
+// in the budget (off / -maintbudget). Throttling moves maintenance work in
+// wall-clock time only — results and simulated charges are identical — so
+// any foreground tail improvement is contention relief, not skipped work.
+type contentionReport struct {
+	MaintenanceBudget           float64             `json:"maintenance_budget"`
+	ArrivalGapSeconds           float64             `json:"arrival_gap_seconds"`
+	ForegroundDatasets          int                 `json:"foreground_datasets"`
+	BackgroundDatasets          int                 `json:"background_datasets"`
+	BackgroundQueries           int                 `json:"background_queries"`
+	Unthrottled                 contentionLegReport `json:"unthrottled"`
+	Throttled                   contentionLegReport `json:"throttled"`
+	FgP99UnderContentionSeconds float64             `json:"fg_p99_under_contention_seconds"`
+	FgP99ThrottledSeconds       float64             `json:"fg_p99_throttled_seconds"`
+	P99Improvement              float64             `json:"p99_improvement_unthrottled_over_throttled"`
+}
+
+// contentionLegReport is one leg of the contention comparison: the paced
+// foreground pass's latency profile plus the throttle's activity during it.
+type contentionLegReport struct {
+	MaintenanceBudget  float64 `json:"maintenance_budget"`
+	LatencyP50         float64 `json:"latency_p50_seconds"`
+	LatencyP95         float64 `json:"latency_p95_seconds"`
+	LatencyP99         float64 `json:"latency_p99_seconds"`
+	ThrottledOps       int64   `json:"throttled_ops"`
+	QueuedDelaySeconds float64 `json:"queued_delay_seconds"`
 }
 
 // servingRun is one timed replay of the workload.

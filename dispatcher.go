@@ -109,6 +109,15 @@ type AdmissionConfig struct {
 	// failing with ErrOverloaded. 0 means fail immediately (pure fast-fail).
 	// Only meaningful with MaxInFlight > 0.
 	QueueWait time.Duration
+	// UrgentDeadline, when positive, turns on deadline-aware storage
+	// priority: a query picked up by a worker with this much (or less) of
+	// its deadline remaining is tagged urgent, and the storage layer lets
+	// its operations jump the per-channel queue — no queueing-delay charge
+	// (and no emulated queueing wait) behind concurrent queries' I/O. The
+	// service time itself is unchanged, so a quiet device behaves
+	// identically; under contention, deadline-imminent queries stop paying
+	// for earlier arrivals. 0 (the default) tags nothing.
+	UrgentDeadline time.Duration
 	// BatchWindow, when positive, turns on micro-batching: admitted queries
 	// are staged for up to this long and released to the worker pool
 	// grouped by dataset combination and query locality (a coarse spatial
@@ -616,7 +625,17 @@ func (d *Dispatcher) worker(w int) {
 		err := simdisk.CheckCtx(job.ctx)
 		t0 := time.Now()
 		if err == nil {
-			objs, err = d.ex.QueryCtx(job.ctx, job.query.Range, job.query.Datasets)
+			ctx := job.ctx
+			// Deadline-aware priority: a query whose deadline is imminent at
+			// pickup runs under an urgent scope — its storage operations jump
+			// the per-channel queue instead of absorbing queueing delay it has
+			// no time left to pay.
+			if d.cfg.UrgentDeadline > 0 && simdisk.ScopeFrom(ctx) == nil {
+				if dl, has := ctx.Deadline(); has && time.Until(dl) <= d.cfg.UrgentDeadline {
+					ctx, _ = simdisk.WithOpScope(ctx, simdisk.PriUrgent)
+				}
+			}
+			objs, err = d.ex.QueryCtx(ctx, job.query.Range, job.query.Datasets)
 		}
 		wall := time.Since(t0)
 		if job.cancel != nil {

@@ -90,6 +90,17 @@ type Options struct {
 	// MaintenanceWorkers bounds the background scheduler's pool (<= 0
 	// defaults to 2). Only meaningful with AsyncMaintenance.
 	MaintenanceWorkers int
+	// MaintenanceBudget caps the fraction of platter busy time background
+	// maintenance I/O may consume while foreground queries are in flight
+	// (0.2 = at most 20%). Over budget, maintenance operations wait — in
+	// wall-clock time only, never on the simulated clock — until the
+	// foreground goes idle or the share drops, so query results, simulated
+	// charges and converged layouts are byte-identical with the budget on or
+	// off; only wall-clock scheduling changes. <= 0 (default) or >= 1
+	// disables throttling. Only meaningful with AsyncMaintenance and
+	// RealTimeScale (without emulated I/O waits there is no wall-clock
+	// contention to arbitrate).
+	MaintenanceBudget float64
 	// ShareScans turns on work sharing across concurrent queries through
 	// the whole serving stack: overlapping run reads on the simulated disk
 	// coalesce into one charged single-flight device read, queries attach
@@ -237,6 +248,9 @@ func NewExplorer(opts Options) (*Explorer, error) {
 	if opts.RealTimeScale > 0 {
 		dev.SetRealTimeScale(opts.RealTimeScale)
 	}
+	if opts.MaintenanceBudget > 0 {
+		dev.SetMaintenanceBudget(opts.MaintenanceBudget)
+	}
 	eng, err := core.New(dev, nil, opts.Bounds, opts.engineConfig())
 	if err != nil {
 		return nil, err
@@ -326,17 +340,15 @@ func (e *Explorer) QueryCtx(ctx context.Context, q Box, datasets []DatasetID) ([
 
 // QueryTimed is Query plus the simulated latency of this query alone. When
 // Options.DropCachesPerQuery is set, the buffer cache is cleared first,
-// like the paper's cold-cache methodology. The latency is a shared-clock
-// delta: when other queries run concurrently their charges are included, so
-// per-query timings are only meaningful for serial use (QueryBatch reports
-// aggregate simulated time instead). They are exact only on the default
-// single-device single-channel topology: with Channels or Devices > 1 the
-// clock is a critical-path max, so a query whose I/O lands on a channel
-// still shadowed by an earlier query's busier channel reports a smaller
-// delta (down to ~0). TimingsApproximate reports whether this caveat is in
-// effect — callers that need exact attribution should check it instead of
-// trusting the duration, and use the per-channel ChannelStats for exact
-// charged time.
+// like the paper's cold-cache methodology. The latency is an exact
+// per-query charge attribution on every topology: the query's context
+// carries a QoS scope the storage layer charges directly — platter service
+// time, cache-hit time, and the arrival-gated queueing delay the query's
+// operations spent waiting behind earlier arrivals on their channels — so
+// concurrent queries never inflate (or shadow) each other's durations, and
+// the per-query charges of concurrent queries sum exactly to the device
+// busy time. On a serial single-channel workload the duration is
+// bit-for-bit the shared-clock delta of the original single-head model.
 func (e *Explorer) QueryTimed(q Box, datasets []DatasetID) ([]Object, time.Duration, error) {
 	return e.QueryTimedCtx(context.Background(), q, datasets)
 }
@@ -366,12 +378,19 @@ func (e *Explorer) QueryTimedCtx(ctx context.Context, q Box, datasets []DatasetI
 	if e.opts.DropCachesPerQuery {
 		e.dev.DropCaches()
 	}
-	start := e.dev.Clock()
-	objs, err := e.engine.QueryCtx(ctx, q, datasets)
-	if err != nil {
-		return nil, e.dev.Clock() - start, err
+	// The query runs under a QoS scope: the storage layer charges every
+	// device operation the query performs — including queueing delay behind
+	// concurrent queries' operations — to it, making the returned duration an
+	// exact per-query attribution on any topology. A scope already on the
+	// context (the dispatcher attaches one to tag deadline-imminent queries
+	// urgent) is reused so its class survives.
+	scope := simdisk.ScopeFrom(ctx)
+	if scope == nil {
+		ctx, scope = simdisk.WithOpScope(ctx, simdisk.PriForeground)
 	}
-	return objs, e.dev.Clock() - start, nil
+	start := scope.Total()
+	objs, err := e.engine.QueryCtx(ctx, q, datasets)
+	return objs, scope.Total() - start, err
 }
 
 // Clock returns total simulated time spent since the session started (or
@@ -527,16 +546,13 @@ func (e *Explorer) SharingStats() SharingStats {
 // evictions, and epoch-flush invalidations. All zeros when caching is off.
 func (e *Explorer) CacheStats() CacheStats { return e.engine.CacheStats() }
 
-// TimingsApproximate reports whether per-query simulated timings
-// (QueryTimed) and the engine's PhaseTimes are approximate on this
-// Explorer's storage topology. With more than one channel or device
-// (C·D > 1) the simulated clock is a critical-path max, so clock deltas
-// under-report I/O shadowed by a busier channel; QueryTimed durations and
-// phase attributions are then lower bounds, not exact charges. On the
-// default 1x1 topology timings are exact and this returns false.
-func (e *Explorer) TimingsApproximate() bool {
-	return e.dev.NumDevices()*e.dev.NumChannels() > 1
-}
+// SetMaintenanceBudget changes the background I/O budget at runtime (see
+// Options.MaintenanceBudget); <= 0 turns throttling off. Benchmarks use it
+// to compare serving behaviour with and without the budget on one Explorer.
+func (e *Explorer) SetMaintenanceBudget(frac float64) { e.dev.SetMaintenanceBudget(frac) }
+
+// MaintenanceBudget returns the current background I/O budget (0 = off).
+func (e *Explorer) MaintenanceBudget() float64 { return e.dev.MaintenanceBudget() }
 
 // Close shuts the Explorer down: new queries and dataset registrations
 // fail fast with ErrClosed, in-flight queries are waited out, the

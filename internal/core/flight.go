@@ -1,0 +1,51 @@
+package core
+
+import "sync"
+
+// flightGroup single-flights function calls per key: the first caller for a
+// key (the leader) runs fn; callers arriving while it runs attach — they
+// block until the leader finishes and share its error instead of running fn
+// again. Calls for distinct keys proceed independently. The merge pipeline
+// uses it keyed by ComboKey so concurrent merge triggers for one combination
+// — racing synchronous queries past the threshold, or the async scheduler's
+// task racing a direct caller — share one PrepareMerge/MergeOrExtend instead
+// of queueing repeated exclusive merge steps for the same work.
+//
+// Do must not be re-entered for the same key from inside fn (the leader
+// would wait on itself).
+type flightGroup[K comparable] struct {
+	mu       sync.Mutex
+	inflight map[K]*flightCall
+}
+
+// flightCall is one in-flight leader execution.
+type flightCall struct {
+	done chan struct{}
+	err  error
+}
+
+// Do runs fn under single-flight per key. It reports whether this call
+// attached to another caller's execution (true) or led its own (false),
+// along with the shared error.
+func (g *flightGroup[K]) Do(key K, fn func() error) (bool, error) {
+	g.mu.Lock()
+	if g.inflight == nil {
+		g.inflight = make(map[K]*flightCall)
+	}
+	if c, ok := g.inflight[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.inflight[key] = c
+	g.mu.Unlock()
+
+	c.err = fn()
+
+	g.mu.Lock()
+	delete(g.inflight, key)
+	g.mu.Unlock()
+	close(c.done)
+	return false, c.err
+}

@@ -386,8 +386,11 @@ func (m *Merger) NeedsMerge(key ComboKey, datasets []object.DatasetID, candidate
 // thresholds allow, and appends every qualifying partition from candidates
 // that is not already covered. Qualification follows the configured
 // LevelPolicy — by default the paper's same-refinement-level rule. Returns
-// the number of partitions appended.
+// the number of partitions appended. ctx (nil disables) carries the QoS
+// scope the copy I/O is charged to; callers pass a non-cancelable context —
+// a merge is never interrupted mid-way.
 func (m *Merger) MergeOrExtend(
+	ctx context.Context,
 	key ComboKey,
 	datasets []object.DatasetID,
 	candidates []octree.Key,
@@ -427,7 +430,7 @@ func (m *Merger) MergeOrExtend(
 		if mf == nil {
 			mf = m.newMergeFile(key, datasets)
 		}
-		if err := m.appendJob(mf, datasets, job); err != nil {
+		if err := m.appendJob(ctx, mf, datasets, job); err != nil {
 			return appended, err
 		}
 		appended++
@@ -473,6 +476,9 @@ func (m *Merger) buildMergeFile(key ComboKey, datasets []object.DatasetID) *Merg
 // that have no directory entry, so the expensive copy I/O of PrepareMerge
 // runs under shared locks, off the query path, and PublishMerge flips the
 // entries in under the exclusive layout lock in O(entries) map inserts.
+// The stage's reads and appends are charged to the context's QoS scope —
+// background merges carry a maintenance-priority scope the storage budget
+// can throttle.
 type PreparedMerge struct {
 	key     ComboKey
 	mf      *MergeFile
@@ -528,6 +534,7 @@ func (m *Merger) CanStageMerges() bool {
 // concurrent prepares for one combination would race on the file's append
 // position). Returns nil when there is nothing to stage.
 func (m *Merger) PrepareMerge(
+	ctx context.Context,
 	key ComboKey,
 	datasets []object.DatasetID,
 	candidates []octree.Key,
@@ -572,11 +579,11 @@ func (m *Merger) PrepareMerge(
 		}
 		segs := make(map[object.DatasetID]segment, len(datasets))
 		for i, ds := range datasets {
-			objs, err := job.readers[i]()
+			objs, err := job.readers[i](ctx)
 			if err != nil {
 				return prep.failed(), fmt.Errorf("merge read %v ds %d: %w", job.key, ds, err)
 			}
-			run, err := prep.mf.file.AppendObjects(objs)
+			run, err := prep.mf.file.AppendObjectsCtx(ctx, objs)
 			if err != nil {
 				return prep.failed(), fmt.Errorf("merge write %v ds %d: %w", job.key, ds, err)
 			}
@@ -643,8 +650,9 @@ func (m *Merger) PublishMerge(prep *PreparedMerge) int {
 // appendJob copies one partition into the merge file: for every member
 // dataset (in order) the objects are read from the original partitions and
 // appended back to back (§3.2.2's layout) — unless another merge file
-// already holds that exact copy and sharing is enabled.
-func (m *Merger) appendJob(mf *MergeFile, datasets []object.DatasetID, job mergeJob) error {
+// already holds that exact copy and sharing is enabled. The copy I/O is
+// charged to ctx's QoS scope.
+func (m *Merger) appendJob(ctx context.Context, mf *MergeFile, datasets []object.DatasetID, job mergeJob) error {
 	segs := make(map[object.DatasetID]segment, len(datasets))
 	for i, ds := range datasets {
 		ref := segRef{key: job.key, ds: ds}
@@ -660,11 +668,11 @@ func (m *Merger) appendJob(mf *MergeFile, datasets []object.DatasetID, job merge
 				}
 			}
 		}
-		objs, err := job.readers[i]()
+		objs, err := job.readers[i](ctx)
 		if err != nil {
 			return fmt.Errorf("merge read %v ds %d: %w", job.key, ds, err)
 		}
-		run, err := mf.file.AppendObjects(objs)
+		run, err := mf.file.AppendObjectsCtx(ctx, objs)
 		if err != nil {
 			return fmt.Errorf("merge write %v ds %d: %w", job.key, ds, err)
 		}

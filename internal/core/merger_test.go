@@ -109,7 +109,7 @@ func TestLookupPrefersLargerSubset(t *testing.T) {
 func TestMergeOrExtendRespectsMinCombination(t *testing.T) {
 	dev := simdisk.NewDevice(simdisk.CostModel{}, 0)
 	m := NewMerger(dev, MergerConfig{MinCombination: 3})
-	n, err := m.MergeOrExtend("1,2", []object.DatasetID{1, 2},
+	n, err := m.MergeOrExtend(nil, "1,2", []object.DatasetID{1, 2},
 		[]octree.Key{{Level: 1}}, nil)
 	if err != nil || n != 0 {
 		t.Fatalf("small combination merged: n=%d err=%v", n, err)

@@ -69,12 +69,13 @@ func DefaultConfig() Config {
 
 // PhaseTimes breaks the engine's simulated time down by activity — the
 // adaptive analogue of the paper's indexing/querying split for static
-// engines (Figure 4's stacked bars). Under concurrent queries the phases
-// are attributed from shared-clock deltas, so overlapping queries can bleed
-// into each other's buckets; the total remains exact on the default
-// single-channel topology. On multi-channel or multi-device storage the
-// clock is a critical-path max, so phase deltas under-count work shadowed
-// by a busier channel — treat PhaseTimes as single-channel diagnostics.
+// engines (Figure 4's stacked bars). Phase durations are exact per-query
+// charge attributions on every topology: each query's context carries a QoS
+// scope the storage layer charges directly (service time plus arrival-gated
+// queueing delay), so concurrent queries never bleed into each other's
+// buckets and nothing is shadowed by a busier channel. Contexts without a
+// scope fall back to device-clock deltas, exact for a serial caller on the
+// default single-channel topology.
 type PhaseTimes struct {
 	// LevelZeroBuild is the in-situ first-touch partitioning of raw files.
 	LevelZeroBuild time.Duration
@@ -86,13 +87,6 @@ type PhaseTimes struct {
 	MergeReads time.Duration
 	// MergeWrites is the Merger's copy I/O (reads of originals included).
 	MergeWrites time.Duration
-	// Approximate is set when the engine runs on a multi-channel or
-	// multi-device topology (C·D > 1): the simulated clock is then a
-	// critical-path max, so the phase deltas above under-report work
-	// shadowed by a busier channel. With Approximate set, treat the phases
-	// as relative diagnostics, not exact attributions; per-channel
-	// ChannelStats carry the exact charged time.
-	Approximate bool
 }
 
 // Total sums all phases.
@@ -147,6 +141,14 @@ type Odyssey struct {
 	trees  map[object.DatasetID]*octree.Tree
 	treeMu map[object.DatasetID]*sync.RWMutex
 	merger *Merger
+
+	// mergeFlight single-flights the merge step per combination: concurrent
+	// triggers for one ComboKey — synchronous queries racing past the
+	// threshold, or the async scheduler's task — attach to the in-flight
+	// step instead of queueing repeated exclusive merges of the same
+	// candidates. It also discharges PrepareMerge's single-flight
+	// precondition structurally rather than by scheduler convention.
+	mergeFlight flightGroup[ComboKey]
 
 	// maint is the background maintenance scheduler; nil unless
 	// Config.AsyncMaintenance is set. See maintenance.go.
@@ -398,10 +400,6 @@ func (o *Odyssey) Metrics() Metrics {
 	m.RelationCounts = rel
 	m.Phases = o.phases
 	o.statsMu.Unlock()
-	// Phase attribution is exact only when the clock is a serial sum; on a
-	// multi-channel or multi-device topology it is a critical-path max and
-	// deltas under-report shadowed I/O — flag instead of silently lying.
-	m.Phases.Approximate = o.dev.NumDevices()*o.dev.NumChannels() > 1
 	return m
 }
 
@@ -450,9 +448,10 @@ func (o *Odyssey) queryTreeAsync(ctx context.Context, tree *octree.Tree, lk *syn
 	lk.Lock()
 	var res octree.QueryResult
 	built := tree.Built()
-	t0 := o.dev.Clock()
+	clock := simdisk.PhaseClock(ctx, o.dev)
+	t0 := clock()
 	err := tree.EnsureBuiltCtx(ctx)
-	buildTime := o.dev.Clock() - t0
+	buildTime := clock() - t0
 	if err == nil {
 		res, err = tree.QueryReadOnlyCtx(ctx, q, hook)
 	}
@@ -671,7 +670,8 @@ func (o *Odyssey) QueryCtx(ctx context.Context, q geom.Box, datasets []object.Da
 			qEpoch = o.layoutEpoch.Load()
 			fanout = o.trees[ordered[0]].FanoutPerDim()
 		}
-		t0 := o.dev.Clock()
+		clock := simdisk.PhaseClock(ctx, o.dev)
+		t0 := clock()
 		for _, r := range reads {
 			var objs []object.Object
 			hit := false
@@ -696,7 +696,7 @@ func (o *Odyssey) QueryCtx(ctx context.Context, q geom.Box, datasets []object.Da
 				}
 			}
 		}
-		phases.MergeReads += o.dev.Clock() - t0
+		phases.MergeReads += clock() - t0
 	}
 
 	o.statsMu.Lock()
@@ -774,8 +774,20 @@ func (o *Odyssey) QueryCtx(ctx context.Context, q geom.Box, datasets []object.Da
 
 	// Post-query merge step (§3.2.1): once the combination crossed mt,
 	// merge (or extend the merge file with) every qualifying partition.
+	// Concurrent queries that crossed the threshold together single-flight
+	// the step per combination — the late arrivals attach to the leader's
+	// merge instead of queueing identical exclusive steps behind it. The
+	// step runs under a non-cancelable context (layout mutations are never
+	// interrupted mid-way) that keeps the query's QoS scope, so the merge
+	// I/O is charged to the query that triggered it.
 	if doMerge {
-		if err := o.runMergeStep(key, ordered); err != nil {
+		mctx := ctx
+		if mctx != nil {
+			mctx = context.WithoutCancel(mctx)
+		}
+		if _, err := o.mergeFlight.Do(key, func() error {
+			return o.runMergeStep(mctx, key, ordered)
+		}); err != nil {
 			return nil, err
 		}
 	}
@@ -786,7 +798,7 @@ func (o *Odyssey) QueryCtx(ctx context.Context, q geom.Box, datasets []object.Da
 // the exclusive layout lock plus the write lock of every member dataset
 // (RefineTo may refine lagging trees), runs MergeOrExtend plus the budget
 // enforcement, and maintains the futility memo and the layout epoch.
-func (o *Odyssey) runMergeStep(key ComboKey, ordered []object.DatasetID) error {
+func (o *Odyssey) runMergeStep(ctx context.Context, key ComboKey, ordered []object.DatasetID) error {
 	o.mu.Lock()
 	for _, ds := range ordered {
 		o.treeMu[ds].Lock()
@@ -798,13 +810,14 @@ func (o *Odyssey) runMergeStep(key ComboKey, ordered []object.DatasetID) error {
 	for _, ds := range ordered {
 		refBefore += o.trees[ds].Refinements
 	}
-	t0 := o.dev.Clock()
-	appended, err := o.merger.MergeOrExtend(key, ordered, candidates, o.trees)
+	clock := simdisk.PhaseClock(ctx, o.dev)
+	t0 := clock()
+	appended, err := o.merger.MergeOrExtend(ctx, key, ordered, candidates, o.trees)
 	var evicted []ComboKey
 	if err == nil {
 		evicted, err = o.merger.EnforceBudget()
 	}
-	dt := o.dev.Clock() - t0
+	dt := clock() - t0
 	refAfter := 0
 	for _, ds := range ordered {
 		refAfter += o.trees[ds].Refinements
@@ -862,6 +875,14 @@ func (o *Odyssey) runRefineTask(ds object.DatasetID, t refineTask) (int, error) 
 	if tree == nil {
 		return 0, nil
 	}
+	// Background refinement runs under a maintenance-priority scope: the
+	// scope's charges attribute the task's exact cost, and each step waits
+	// out the background I/O budget before taking the dataset's write lock
+	// — the wait sits at a lock-free point, so a throttled refinement never
+	// blocks the foreground queries the budget protects. The context is
+	// non-cancelable — layout mutations are never interrupted mid-way.
+	ctx, _ := simdisk.WithOpScope(context.Background(), simdisk.PriMaintenance)
+	clock := simdisk.PhaseClock(ctx, o.dev)
 	refined := 0
 	var dt time.Duration
 	var taskErr error
@@ -874,10 +895,14 @@ func (o *Odyssey) runRefineTask(ds object.DatasetID, t refineTask) (int, error) 
 		if o.regionCovered(ds, t) {
 			break
 		}
+		if err := o.dev.AwaitMaintenanceTurn(ctx); err != nil {
+			taskErr = err
+			break
+		}
 		lk.Lock()
-		t0 := o.dev.Clock()
-		step, err := tree.RefineRegionStep(t.key, t.box, t.qVol)
-		dt += o.dev.Clock() - t0
+		t0 := clock()
+		step, err := tree.RefineRegionStep(ctx, t.key, t.box, t.qVol)
+		dt += clock() - t0
 		lk.Unlock()
 		if err != nil {
 			taskErr = err
@@ -926,10 +951,34 @@ func (o *Odyssey) regionCovered(ds object.DatasetID, t refineTask) bool {
 // exclusive lock, so a racing query observes either none or all of the
 // step's entries, never a partial merge file. Configurations the staged
 // path cannot serve fall back to the synchronous exclusive merge step.
+// The whole step is single-flight per combination (PrepareMerge's
+// precondition), and runs under a maintenance-priority scope: a storage
+// budget throttles the copy I/O while foreground queries are in flight.
 func (o *Odyssey) runMergeAsync(key ComboKey, ordered []object.DatasetID) error {
-	if !o.merger.CanStageMerges() {
-		return o.runMergeStep(key, ordered)
+	_, err := o.mergeFlight.Do(key, func() error {
+		return o.mergeAsyncStep(key, ordered)
+	})
+	return err
+}
+
+// mergeAsyncStep is runMergeAsync's body; callers hold the combination's
+// mergeFlight slot.
+func (o *Odyssey) mergeAsyncStep(key ComboKey, ordered []object.DatasetID) error {
+	ctx, _ := simdisk.WithOpScope(context.Background(), simdisk.PriMaintenance)
+	// Honor the background I/O budget before acquiring any tree locks (a
+	// gated wait under the member read locks would stall racing writers and,
+	// behind them, foreground readers). A query whose sync merge attaches to
+	// this flight waits too — but it is doing no device I/O while it waits,
+	// so it does not hold the foreground-in-flight signal up itself.
+	if err := o.dev.AwaitMaintenanceTurn(ctx); err != nil {
+		return err
 	}
+	if !o.merger.CanStageMerges() {
+		// Direct call, not through mergeFlight: this goroutine already
+		// holds the combination's flight slot.
+		return o.runMergeStep(ctx, key, ordered)
+	}
+	clock := simdisk.PhaseClock(ctx, o.dev)
 
 	// The futility memo for a no-op outcome uses the epoch from before the
 	// prepare stage: if anything (a racing refinement of another region)
@@ -950,9 +999,9 @@ func (o *Odyssey) runMergeAsync(key ComboKey, ordered []object.DatasetID) error 
 	o.statsMu.Lock()
 	candidates := o.stats.Partitions(key)
 	o.statsMu.Unlock()
-	t0 := o.dev.Clock()
-	prep, prepErr := o.merger.PrepareMerge(key, ordered, candidates, o.trees)
-	dt := o.dev.Clock() - t0
+	t0 := clock()
+	prep, prepErr := o.merger.PrepareMerge(ctx, key, ordered, candidates, o.trees)
+	dt := clock() - t0
 	for i := len(ordered) - 1; i >= 0; i-- {
 		o.treeMu[ordered[i]].RUnlock()
 	}
@@ -967,10 +1016,10 @@ func (o *Odyssey) runMergeAsync(key ComboKey, ordered []object.DatasetID) error 
 	// file). Futility is memoized only on a clean no-op: a failed prepare
 	// saw an incomplete picture, so the next query must re-attempt.
 	o.mu.Lock()
-	t1 := o.dev.Clock()
+	t1 := clock()
 	appended := o.merger.PublishMerge(prep)
 	evicted, err := o.merger.EnforceBudget()
-	dt += o.dev.Clock() - t1
+	dt += clock() - t1
 	if err == nil {
 		if appended > 0 || len(evicted) > 0 {
 			o.bumpLayoutEpoch()

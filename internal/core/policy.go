@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"spaceodyssey/internal/object"
@@ -42,10 +43,11 @@ func (p LevelPolicy) String() string {
 
 // mergeJob describes one partition to copy into a merge file: the cell key
 // of the new entry and, per member dataset (in order), a reader producing
-// the objects of that cell.
+// the objects of that cell. Readers take the merge's context so the read
+// I/O is charged to the merge's QoS scope.
 type mergeJob struct {
 	key     octree.Key
-	readers []func() ([]object.Object, error)
+	readers []func(context.Context) ([]object.Object, error)
 }
 
 // planJob applies the level policy to one candidate key, returning the
@@ -83,8 +85,8 @@ func (m *Merger) planSameLevel(
 		if leaf == nil {
 			return mergeJob{}, false
 		}
-		job.readers = append(job.readers, func() ([]object.Object, error) {
-			return tree.ReadPartition(leaf)
+		job.readers = append(job.readers, func(ctx context.Context) ([]object.Object, error) {
+			return tree.ReadPartitionCtx(ctx, leaf)
 		})
 	}
 	return job, true
@@ -110,12 +112,12 @@ func (m *Merger) planRefineToFinest(
 		if tree.LeafAt(cand) == nil && tree.LeafCovering(cand) == nil {
 			return mergeJob{}, false
 		}
-		job.readers = append(job.readers, func() ([]object.Object, error) {
-			leaf, err := tree.RefineTo(cand)
+		job.readers = append(job.readers, func(ctx context.Context) ([]object.Object, error) {
+			leaf, err := tree.RefineToCtx(ctx, cand)
 			if err != nil {
 				return nil, err
 			}
-			return tree.ReadPartition(leaf)
+			return tree.ReadPartitionCtx(ctx, leaf)
 		})
 	}
 	return job, true
@@ -157,10 +159,10 @@ func (m *Merger) planCoarsestCover(
 			// leaf sits above the key); aggregation is impossible.
 			return mergeJob{}, false
 		}
-		job.readers = append(job.readers, func() ([]object.Object, error) {
+		job.readers = append(job.readers, func(ctx context.Context) ([]object.Object, error) {
 			var out []object.Object
 			for _, leaf := range leaves {
-				objs, err := tree.ReadPartition(leaf)
+				objs, err := tree.ReadPartitionCtx(ctx, leaf)
 				if err != nil {
 					return nil, err
 				}

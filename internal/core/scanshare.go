@@ -243,9 +243,10 @@ func (o *Odyssey) ensureBuiltShared(ctx context.Context, ds object.DatasetID,
 		o.buildMu.Unlock()
 
 		lk.Lock()
-		t0 := o.dev.Clock()
+		clock := simdisk.PhaseClock(ctx, o.dev)
+		t0 := clock()
 		err := tree.EnsureBuiltCtx(ctx)
-		dt := o.dev.Clock() - t0
+		dt := clock() - t0
 		if err == nil {
 			o.bumpLayoutEpoch()
 		}

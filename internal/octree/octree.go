@@ -272,12 +272,19 @@ func (t *Tree) EnsureBuiltCtx(ctx context.Context) error {
 		box:      t.bounds,
 		children: make([]*Partition, 0, len(cells)),
 	}
+	// The cell writes always complete (the built state commits atomically),
+	// but their I/O is still attributed to the caller's QoS scope: strip
+	// cancellation, keep context values.
+	wctx := ctx
+	if wctx != nil {
+		wctx = context.WithoutCancel(wctx)
+	}
 	for ci, cell := range cells {
 		cx := ci % t.k
 		cy := (ci / t.k) % t.k
 		cz := ci / (t.k * t.k)
 		objs := buckets[ci]
-		runs, err := t.file.WriteInto(nil, objs)
+		runs, err := t.file.WriteIntoCtx(wctx, nil, objs)
 		if err != nil {
 			return fmt.Errorf("octree level-0 write: %w", err)
 		}

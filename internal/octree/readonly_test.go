@@ -86,7 +86,7 @@ func TestRefineRegionConverges(t *testing.T) {
 	}
 	total := 0
 	for _, key := range ro.WantRefine {
-		n, err := bgTree.RefineRegion(key, q, qVol)
+		n, err := bgTree.RefineRegion(nil, key, q, qVol)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -57,6 +57,13 @@ func (t *Tree) refineCtx(ctx context.Context, p *Partition) ([]object.Object, er
 	}
 
 	// The parent's pages become the free pool children draw from in order.
+	// The rewrite phase always completes (no half-rewritten partition), but
+	// its I/O is still attributed to the caller's QoS scope: strip
+	// cancellation, keep context values.
+	wctx := ctx
+	if wctx != nil {
+		wctx = context.WithoutCancel(wctx)
+	}
 	alloc := &runAllocator{free: p.runs}
 	cells := p.box.Subdivide(t.k)
 	children := make([]*Partition, 0, len(cells))
@@ -66,7 +73,7 @@ func (t *Tree) refineCtx(ctx context.Context, p *Partition) ([]object.Object, er
 		cz := ci / (t.k * t.k)
 		bucket := buckets[ci]
 		reuse := alloc.take(object.PagesFor(len(bucket)))
-		runs, err := t.file.WriteInto(reuse, bucket)
+		runs, err := t.file.WriteIntoCtx(wctx, reuse, bucket)
 		if err != nil {
 			return nil, fmt.Errorf("octree refine write: %w", err)
 		}
@@ -153,12 +160,15 @@ func (t *Tree) Query(q geom.Box, serveFromStore func(*Partition) bool) (QueryRes
 // the tree consistent; on error the partial QueryResult must be discarded.
 func (t *Tree) QueryCtx(ctx context.Context, q geom.Box, serveFromStore func(*Partition) bool) (QueryResult, error) {
 	var res QueryResult
-	dev := t.file.Device()
-	t0 := dev.Clock()
+	// Phase times are exact per-query attribution when the context carries a
+	// QoS scope (any topology); the device-clock fallback is exact only for
+	// a serial caller on C=1 D=1.
+	clock := simdisk.PhaseClock(ctx, t.file.Device())
+	t0 := clock()
 	if err := t.EnsureBuiltCtx(ctx); err != nil {
 		return res, err
 	}
-	res.BuildTime = dev.Clock() - t0
+	res.BuildTime = clock() - t0
 	extended := q.Expand(t.maxExtent)
 	qVol := q.Volume()
 	leaves := t.Lookup(extended)
@@ -173,9 +183,9 @@ func (t *Tree) QueryCtx(ctx context.Context, q geom.Box, serveFromStore func(*Pa
 		if t.NeedsRefinement(leaf, qVol) {
 			// Refinement reads the partition; reuse those objects and
 			// descend to the children actually intersecting the query.
-			t1 := dev.Clock()
+			t1 := clock()
 			objs, err := t.refineCtx(ctx, leaf)
-			res.RefineTime += dev.Clock() - t1
+			res.RefineTime += clock() - t1
 			if err != nil {
 				return res, err
 			}
@@ -187,9 +197,9 @@ func (t *Tree) QueryCtx(ctx context.Context, q geom.Box, serveFromStore func(*Pa
 			}
 			filterInto(&res, objs, q)
 		} else {
-			t1 := dev.Clock()
+			t1 := clock()
 			objs, token, err := t.readLeaf(ctx, leaf)
-			res.ReadTime += dev.Clock() - t1
+			res.ReadTime += clock() - t1
 			if err != nil {
 				return res, err
 			}
@@ -255,7 +265,7 @@ func (t *Tree) QueryReadOnlyCtx(ctx context.Context, q geom.Box, serveFromStore 
 	if !t.built {
 		return res, fmt.Errorf("octree: read-only query on unbuilt tree")
 	}
-	dev := t.file.Device()
+	clock := simdisk.PhaseClock(ctx, t.file.Device())
 	extended := q.Expand(t.maxExtent)
 	qVol := q.Volume()
 	for _, leaf := range t.Lookup(extended) {
@@ -269,9 +279,9 @@ func (t *Tree) QueryReadOnlyCtx(ctx context.Context, q geom.Box, serveFromStore 
 		if t.NeedsRefinement(leaf, qVol) {
 			res.WantRefine = append(res.WantRefine, leaf.key)
 		}
-		t1 := dev.Clock()
+		t1 := clock()
 		objs, token, err := t.readLeaf(ctx, leaf)
-		res.ReadTime += dev.Clock() - t1
+		res.ReadTime += clock() - t1
 		if err != nil {
 			return res, err
 		}
@@ -289,8 +299,10 @@ func (t *Tree) QueryReadOnlyCtx(ctx context.Context, q geom.Box, serveFromStore 
 // happened — false means the region has converged for this demand. The
 // caller must hold the tree's write lock; a background scheduler calls it
 // in a lock-release loop so queries interleave between steps instead of
-// waiting out a whole region's convergence.
-func (t *Tree) RefineRegionStep(key Key, q geom.Box, qVol float64) (bool, error) {
+// waiting out a whole region's convergence. The context (nil allowed)
+// carries the caller's QoS scope — the maintenance scheduler's refinement
+// I/O is charged as PriMaintenance through it.
+func (t *Tree) RefineRegionStep(ctx context.Context, key Key, q geom.Box, qVol float64) (bool, error) {
 	if !t.built {
 		return false, nil
 	}
@@ -310,7 +322,7 @@ func (t *Tree) RefineRegionStep(key Key, q geom.Box, qVol float64) (bool, error)
 		if !p.IsLeaf() || !p.box.Intersects(extended) || !t.NeedsRefinement(p, qVol) {
 			continue
 		}
-		_, err := t.Refine(p)
+		_, err := t.refineCtx(ctx, p)
 		return err == nil, err
 	}
 	return false, nil
@@ -323,10 +335,10 @@ func (t *Tree) RefineRegionStep(key Key, q geom.Box, qVol float64) (bool, error)
 // of identical queries would drive the region to one level at a time. It
 // returns the number of refinement operations performed. The caller must
 // hold the tree's write lock.
-func (t *Tree) RefineRegion(key Key, q geom.Box, qVol float64) (int, error) {
+func (t *Tree) RefineRegion(ctx context.Context, key Key, q geom.Box, qVol float64) (int, error) {
 	refined := 0
 	for {
-		step, err := t.RefineRegionStep(key, q, qVol)
+		step, err := t.RefineRegionStep(ctx, key, q, qVol)
 		if err != nil {
 			return refined, err
 		}
@@ -391,6 +403,12 @@ func (t *Tree) LeafCovering(key Key) *Partition {
 // at merge time (the refinement I/O is charged like any other). It fails
 // when the tree is unbuilt or already refined past the key.
 func (t *Tree) RefineTo(key Key) (*Partition, error) {
+	return t.RefineToCtx(nil, key)
+}
+
+// RefineToCtx is RefineTo with the context (and its QoS scope) threaded to
+// the refinement I/O.
+func (t *Tree) RefineToCtx(ctx context.Context, key Key) (*Partition, error) {
 	if !t.built {
 		return nil, fmt.Errorf("octree: RefineTo on unbuilt tree")
 	}
@@ -405,7 +423,7 @@ func (t *Tree) RefineTo(key Key) (*Partition, error) {
 		if int(cover.key.Level) >= t.cfg.MaxDepth {
 			return nil, fmt.Errorf("octree: RefineTo %v exceeds MaxDepth", key)
 		}
-		if _, err := t.Refine(cover); err != nil {
+		if _, err := t.refineCtx(ctx, cover); err != nil {
 			return nil, err
 		}
 	}

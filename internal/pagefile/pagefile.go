@@ -67,6 +67,14 @@ func (f *File) Delete() error { return f.dev.DeleteFile(f.id) }
 // AppendObjects writes objs to freshly appended pages and returns the run
 // they occupy. An empty slice returns a zero-length run at EOF.
 func (f *File) AppendObjects(objs []object.Object) (Run, error) {
+	return f.AppendObjectsCtx(nil, objs)
+}
+
+// AppendObjectsCtx is AppendObjects with the context threaded to the device,
+// so the write I/O is charged to the context's QoS scope. Callers that must
+// not leave a partial append pass a non-cancelable context
+// (context.WithoutCancel keeps the scope).
+func (f *File) AppendObjectsCtx(ctx context.Context, objs []object.Object) (Run, error) {
 	end, err := f.dev.NumPages(f.id)
 	if err != nil {
 		return Run{}, err
@@ -81,7 +89,7 @@ func (f *File) AppendObjects(objs []object.Object) (Run, error) {
 		if err != nil {
 			return Run{}, err
 		}
-		if _, err := f.dev.AppendPage(f.id, page); err != nil {
+		if _, err := f.dev.AppendPageCtx(ctx, f.id, page); err != nil {
 			return Run{}, err
 		}
 		run.Count++
@@ -94,6 +102,12 @@ func (f *File) AppendObjects(objs []object.Object) (Run, error) {
 // the data are rewritten empty so stale records cannot resurface. It returns
 // the sub-run actually holding data.
 func (f *File) OverwriteObjects(run Run, objs []object.Object) (Run, error) {
+	return f.OverwriteObjectsCtx(nil, run, objs)
+}
+
+// OverwriteObjectsCtx is OverwriteObjects with the context threaded to the
+// device for QoS charge attribution (see AppendObjectsCtx).
+func (f *File) OverwriteObjectsCtx(ctx context.Context, run Run, objs []object.Object) (Run, error) {
 	need := object.PagesFor(len(objs))
 	if need > run.Count {
 		return Run{}, fmt.Errorf("pagefile: %d objects need %d pages, run has %d",
@@ -112,7 +126,7 @@ func (f *File) OverwriteObjects(run Run, objs []object.Object) (Run, error) {
 		if err != nil {
 			return Run{}, err
 		}
-		if err := f.dev.WritePage(f.id, run.Start+i, page); err != nil {
+		if err := f.dev.WritePageCtx(ctx, f.id, run.Start+i, page); err != nil {
 			return Run{}, err
 		}
 	}
@@ -208,6 +222,12 @@ func PutObjSlice(s *[]object.Object) {
 // paper's in-place partition refinement: children reuse the parent's pages
 // first, overflow goes to end of file.
 func (f *File) WriteInto(reuse []Run, objs []object.Object) ([]Run, error) {
+	return f.WriteIntoCtx(nil, reuse, objs)
+}
+
+// WriteIntoCtx is WriteInto with the context threaded to the device for QoS
+// charge attribution (see AppendObjectsCtx).
+func (f *File) WriteIntoCtx(ctx context.Context, reuse []Run, objs []object.Object) ([]Run, error) {
 	var out []Run
 	remaining := objs
 	for _, r := range reuse {
@@ -219,7 +239,7 @@ func (f *File) WriteInto(reuse []Run, objs []object.Object) ([]Run, error) {
 		if take > fit {
 			take = fit
 		}
-		used, err := f.OverwriteObjects(r, remaining[:take])
+		used, err := f.OverwriteObjectsCtx(ctx, r, remaining[:take])
 		if err != nil {
 			return nil, err
 		}
@@ -229,7 +249,7 @@ func (f *File) WriteInto(reuse []Run, objs []object.Object) ([]Run, error) {
 		remaining = remaining[take:]
 	}
 	if len(remaining) > 0 {
-		run, err := f.AppendObjects(remaining)
+		run, err := f.AppendObjectsCtx(ctx, remaining)
 		if err != nil {
 			return nil, err
 		}

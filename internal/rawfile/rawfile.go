@@ -93,31 +93,52 @@ func (r *Raw) Scan(fn func(object.Object) error) error {
 	return r.ScanCtx(nil, fn)
 }
 
+// scanChunkPages is the run size in-situ scans read at a time: large enough
+// that a chunk is a genuine sequential run, small enough that huge files
+// never need one giant buffer (128 pages = 512 KB).
+const scanChunkPages = 128
+
 // ScanCtx is Scan with cancellation: the context (nil disables) is checked
 // at every page boundary, so an abandoned in-situ scan stops charging
 // simulated I/O where it was abandoned. The in-situ first-touch scan is the
 // most expensive single operation in the system — exactly the one an
 // interactive caller most wants to walk away from.
+//
+// The scan reads ReadRun-sized chunks aligned to fixed offsets from the
+// run's start (not single pages): every concurrent scan of the same file
+// issues identical page ranges, so with single-flight run coalescing on,
+// concurrent cold-start scans of one dataset coalesce — one charged read
+// per chunk, fanned out — instead of racing page-by-page past the
+// coalescing layer. The simulated charges are identical to a page-by-page
+// scan: same pages, same order, same head.
 func (r *Raw) ScanCtx(ctx context.Context, fn func(object.Object) error) error {
 	if r.deleted {
 		return ErrClosed
 	}
-	// Stream page by page so huge files do not need one giant buffer.
-	buf := make([]byte, simdisk.PageSize)
 	dev := r.file.Device()
-	for p := r.run.Start; p < r.run.Start+r.run.Count; p++ {
-		if err := dev.ReadPageCtx(ctx, r.file.ID(), p, buf); err != nil {
+	id := r.file.ID()
+	end := r.run.Start + r.run.Count
+	for p := r.run.Start; p < end; {
+		n := scanChunkPages - (p-r.run.Start)%scanChunkPages
+		if p+n > end {
+			n = end - p
+		}
+		buf, err := dev.ReadRunCtx(ctx, id, p, n)
+		if err != nil {
 			return err
 		}
-		objs, err := object.DecodePage(buf)
-		if err != nil {
-			return fmt.Errorf("rawfile %q page %d: %w", r.name, p, err)
-		}
-		for _, o := range objs {
-			if err := fn(o); err != nil {
-				return err
+		for i := int64(0); i < n; i++ {
+			objs, err := object.DecodePage(buf[i*simdisk.PageSize : (i+1)*simdisk.PageSize])
+			if err != nil {
+				return fmt.Errorf("rawfile %q page %d: %w", r.name, p+i, err)
+			}
+			for _, o := range objs {
+				if err := fn(o); err != nil {
+					return err
+				}
 			}
 		}
+		p += n
 	}
 	return nil
 }

@@ -186,10 +186,22 @@ func (a *DeviceArray) WritePage(id FileID, idx int64, data []byte) error {
 	return dev.WritePage(local, idx, data)
 }
 
+// WritePageCtx is WritePage with cancellation and QoS attribution.
+func (a *DeviceArray) WritePageCtx(ctx context.Context, id FileID, idx int64, data []byte) error {
+	dev, local := a.decode(id)
+	return dev.WritePageCtx(ctx, local, idx, data)
+}
+
 // AppendPage appends one page on the file's member device.
 func (a *DeviceArray) AppendPage(id FileID, data []byte) (int64, error) {
 	dev, local := a.decode(id)
 	return dev.AppendPage(local, data)
+}
+
+// AppendPageCtx is AppendPage with cancellation and QoS attribution.
+func (a *DeviceArray) AppendPageCtx(ctx context.Context, id FileID, data []byte) (int64, error) {
+	dev, local := a.decode(id)
+	return dev.AppendPageCtx(ctx, local, data)
 }
 
 // ReadRun reads n consecutive pages on the file's member device.

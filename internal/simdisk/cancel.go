@@ -64,6 +64,11 @@ func (d *Device) checkCtx(ctx context.Context) error {
 // aborts before any clock charge, and the real-time emulation sleep (if any)
 // aborts early on ctx.Done. A nil ctx behaves exactly like ReadPage.
 func (d *Device) ReadPageCtx(ctx context.Context, id FileID, idx int64, buf []byte) error {
+	s := ScopeFrom(ctx)
+	if err := d.gateOp(ctx, s); err != nil {
+		return err
+	}
+	defer d.ungateOp(s)
 	dt, err := d.readPage(ctx, id, idx, buf)
 	if err != nil {
 		return err
@@ -82,6 +87,11 @@ func (d *Device) ReadRunCtx(ctx context.Context, id FileID, start, n int64) ([]b
 	if n < 0 {
 		return nil, fmt.Errorf("simdisk: negative run length %d", n)
 	}
+	s := ScopeFrom(ctx)
+	if err := d.gateOp(ctx, s); err != nil {
+		return nil, err
+	}
+	defer d.ungateOp(s)
 	if n > 0 && d.shareReads.Load() {
 		return d.readRunShared(ctx, id, start, n)
 	}

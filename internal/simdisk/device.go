@@ -45,6 +45,16 @@ type Stats struct {
 	// other counter — it was neither a platter read nor a cache hit.
 	CoalescedReads int64
 	CoalescedPages int64
+	// QueuedDelay is the total arrival-gated queueing delay charged to
+	// scoped operations: simulated time spent waiting behind earlier
+	// operations on the same channel. It is attribution, not extra device
+	// work — channel busy time and Clock() never include it. Zero on serial
+	// single-stream workloads and for PriUrgent scopes.
+	QueuedDelay time.Duration
+	// ThrottledOps counts maintenance operations that waited (wall-clock
+	// only) for the background I/O budget (SetMaintenanceBudget) at least
+	// once before proceeding.
+	ThrottledOps int64
 }
 
 // ChannelStats snapshots one I/O channel's activity: the platter time it
@@ -71,6 +81,8 @@ func (s *Stats) Add(o Stats) {
 	s.CanceledOps += o.CanceledOps
 	s.CoalescedReads += o.CoalescedReads
 	s.CoalescedPages += o.CoalescedPages
+	s.QueuedDelay += o.QueuedDelay
+	s.ThrottledOps += o.ThrottledOps
 }
 
 // file is one page file stored entirely in memory. Its pages are guarded by
@@ -90,10 +102,18 @@ type file struct {
 // of different channels neither interleave each other's runs nor serialize
 // on a shared head mutex.
 type channel struct {
-	mu        sync.Mutex // guards the head position below
+	mu        sync.Mutex // guards the head position and free frontier below
 	lastFile  FileID
 	lastPage  int64
 	lastValid bool
+	// free is the channel's virtual availability frontier: the simulated
+	// time (on the busy clock's epoch) at which the head finishes its last
+	// accepted operation. An arriving scoped operation that finds free
+	// ahead of its own arrival time is charged the difference as queueing
+	// delay. free only ever meets or exceeds the busy sum — scope gaps
+	// (a scope returning to a channel after working elsewhere) advance it
+	// past busy, exactly like an idle head waiting for the next request.
+	free int64
 
 	busy     atomic.Int64 // platter nanoseconds charged to this channel
 	seeks    atomic.Int64
@@ -153,6 +173,19 @@ type Device struct {
 	sfInflight     map[FileID][]*inflightRun
 	coalescedReads atomic.Int64
 	coalescedPages atomic.Int64
+
+	// QoS state (see qos.go): queuedDelay and throttledOps are the Stats
+	// counters; fgInFlight counts scoped foreground/urgent operations
+	// currently inside the device (the signal the maintenance throttle
+	// watches); maintBudget holds the float64 bits of the background I/O
+	// budget fraction (0 = throttling off); fgBusy/maintBusy split platter
+	// time by class for the budget's share test.
+	queuedDelay  atomic.Int64
+	throttledOps atomic.Int64
+	fgInFlight   atomic.Int64
+	maintBudget  atomic.Uint64
+	fgBusy       atomic.Int64
+	maintBusy    atomic.Int64
 
 	// realTime holds the float64 bits of the real-time emulation scale
 	// (0 = off). See SetRealTimeScale.
@@ -336,11 +369,13 @@ func (d *Device) readPage(ctx context.Context, id FileID, idx int64, buf []byte)
 		}
 	}
 	var dt time.Duration
+	s := ScopeFrom(ctx)
 	if d.cache.Touch(key) {
 		dt = d.cost.CacheHit
 		d.shared.Add(int64(dt))
+		s.noteShared(dt)
 	} else {
-		dt = d.chargePlatter(key)
+		dt = d.chargePlatter(s, key)
 		d.pageReads.Add(1)
 		d.bytesRead.Add(PageSize)
 	}
@@ -366,9 +401,28 @@ func (d *Device) ReadPage(id FileID, idx int64, buf []byte) error {
 // reuses the pages the old partition occupied). The write pays platter cost
 // and refreshes the cache (write-through).
 func (d *Device) WritePage(id FileID, idx int64, data []byte) error {
+	return d.WritePageCtx(nil, id, idx, data)
+}
+
+// WritePageCtx is WritePage with cancellation and QoS: the context is
+// checked before any charge or mutation (an abort there has cost and changed
+// nothing), the platter charge is attributed to the context's OpScope, and a
+// maintenance-scoped write waits out the background I/O budget first. Once
+// the page is written the operation is charged and durable — only the
+// real-time emulation sleep can still be cut short, returning the
+// cancellation error with the write already applied.
+func (d *Device) WritePageCtx(ctx context.Context, id FileID, idx int64, data []byte) error {
+	if err := d.checkCtx(ctx); err != nil {
+		return err
+	}
 	if len(data) != PageSize {
 		return ErrBadPageSize
 	}
+	s := ScopeFrom(ctx)
+	if err := d.gateOp(ctx, s); err != nil {
+		return err
+	}
+	defer d.ungateOp(s)
 	f, err := d.lookup(id)
 	if err != nil {
 		return err
@@ -384,7 +438,7 @@ func (d *Device) WritePage(id FileID, idx int64, data []byte) error {
 		return fmt.Errorf("%w: file %d page %d of %d", ErrOutOfRange, id, idx, n)
 	}
 	key := pageKey{id, idx}
-	dt := d.chargePlatter(key)
+	dt := d.chargePlatter(s, key)
 	d.pageWrites.Add(1)
 	d.bytesWritten.Add(PageSize)
 	page := make([]byte, PageSize)
@@ -394,17 +448,31 @@ func (d *Device) WritePage(id FileID, idx int64, data []byte) error {
 	// cannot interleave and leave a dead key cached.
 	d.cache.Insert(key)
 	f.mu.Unlock()
-	d.emulate(dt)
-	return nil
+	return d.emulateCtx(ctx, dt)
 }
 
 // AppendPage appends data as a new page at the end of the file and returns
 // its index. Appends to the file most recently touched at its tail are
 // sequential.
 func (d *Device) AppendPage(id FileID, data []byte) (int64, error) {
+	return d.AppendPageCtx(nil, id, data)
+}
+
+// AppendPageCtx is AppendPage with cancellation and QoS, with the same
+// contract as WritePageCtx: abort before the charge costs nothing; once the
+// page is appended it is charged and durable.
+func (d *Device) AppendPageCtx(ctx context.Context, id FileID, data []byte) (int64, error) {
+	if err := d.checkCtx(ctx); err != nil {
+		return 0, err
+	}
 	if len(data) != PageSize {
 		return 0, ErrBadPageSize
 	}
+	s := ScopeFrom(ctx)
+	if err := d.gateOp(ctx, s); err != nil {
+		return 0, err
+	}
+	defer d.ungateOp(s)
 	f, err := d.lookup(id)
 	if err != nil {
 		return 0, err
@@ -416,7 +484,7 @@ func (d *Device) AppendPage(id FileID, data []byte) (int64, error) {
 	}
 	idx := int64(len(f.pages))
 	key := pageKey{id, idx}
-	dt := d.chargePlatter(key)
+	dt := d.chargePlatter(s, key)
 	d.pageWrites.Add(1)
 	d.bytesWritten.Add(PageSize)
 	page := make([]byte, PageSize)
@@ -424,7 +492,9 @@ func (d *Device) AppendPage(id FileID, data []byte) (int64, error) {
 	f.pages = append(f.pages, page)
 	d.cache.Insert(key) // under f.mu; see WritePage
 	f.mu.Unlock()
-	d.emulate(dt)
+	if err := d.emulateCtx(ctx, dt); err != nil {
+		return idx, err
+	}
 	return idx, nil
 }
 
@@ -438,23 +508,67 @@ func (d *Device) ReadRun(id FileID, start, n int64) ([]byte, error) {
 
 // chargePlatter advances the file's channel clock for one platter access to
 // key, paying a seek unless the access continues that channel's previous
-// one. Only the head position is under the channel mutex; clocks and
-// counters are atomics. It returns the charged duration.
-func (d *Device) chargePlatter(key pageKey) time.Duration {
+// one. The access is arrival-aware: under the channel mutex it computes the
+// operation's arrival time (the scope's virtual timeline position; for the
+// scope's first access, or with no scope, exactly the channel's free
+// frontier), starts it no earlier than the frontier, and charges the scope
+// the service time plus any arrival-gated queueing delay. Channel busy time
+// accumulates pure service time, so Clock() and conservation (scope charges
+// sum to busy) are independent of interleaving. PriUrgent scopes jump the
+// queue: no delay charged, their timeline advances by service time alone.
+// It returns the duration the operation should sleep under real-time
+// emulation: service plus charged delay.
+func (d *Device) chargePlatter(s *OpScope, key pageKey) time.Duration {
 	ch := d.channelOf(key.file)
 	ch.mu.Lock()
 	sequential := ch.lastValid && ch.lastFile == key.file && key.page == ch.lastPage+1
 	ch.lastFile, ch.lastPage, ch.lastValid = key.file, key.page, true
+	svc := d.cost.Transfer
+	if !sequential {
+		svc += d.cost.Seek
+	}
+	var delay int64
+	if s == nil {
+		// Unscoped access: arrives exactly when the head frees up.
+		ch.free += int64(svc)
+	} else {
+		arrival := s.now.Load()
+		if arrival < 0 {
+			arrival = ch.free // first access positions the scope's timeline
+		}
+		start := arrival
+		if ch.free > start {
+			start = ch.free
+		}
+		ch.free = start + int64(svc)
+		if s.pri == PriUrgent {
+			// Queue jump: completion is arrival + service, no delay.
+			s.now.Store(arrival + int64(svc))
+		} else {
+			delay = start - arrival
+			s.now.Store(start + int64(svc))
+		}
+	}
 	ch.mu.Unlock()
-	dt := d.cost.Transfer
 	if sequential {
 		ch.seqPages.Add(1)
 	} else {
-		dt += d.cost.Seek
 		ch.seeks.Add(1)
 	}
-	ch.busy.Add(int64(dt))
-	return dt
+	ch.busy.Add(int64(svc))
+	if s == nil || s.pri != PriMaintenance {
+		d.fgBusy.Add(int64(svc))
+	} else {
+		d.maintBusy.Add(int64(svc))
+	}
+	if s != nil {
+		s.charged.Add(int64(svc))
+		if delay > 0 {
+			s.queued.Add(delay)
+			d.queuedDelay.Add(delay)
+		}
+	}
+	return svc + time.Duration(delay)
 }
 
 // takeFault consumes an armed one-shot read fault for key, if any.
@@ -493,7 +607,11 @@ func (d *Device) Clock() time.Duration {
 func (d *Device) ResetClock() {
 	d.shared.Store(0)
 	for i := range d.channels {
-		d.channels[i].busy.Store(0)
+		ch := &d.channels[i]
+		ch.busy.Store(0)
+		ch.mu.Lock()
+		ch.free = 0 // same epoch as busy; new scopes re-position from zero
+		ch.mu.Unlock()
 	}
 }
 
@@ -579,6 +697,8 @@ func (d *Device) Stats() Stats {
 		CanceledOps:    d.canceledOps.Load(),
 		CoalescedReads: d.coalescedReads.Load(),
 		CoalescedPages: d.coalescedPages.Load(),
+		QueuedDelay:    time.Duration(d.queuedDelay.Load()),
+		ThrottledOps:   d.throttledOps.Load(),
 	}
 	for i := range d.channels {
 		s.Seeks += d.channels[i].seeks.Load()
@@ -596,6 +716,10 @@ func (d *Device) ResetStats() {
 	d.canceledOps.Store(0)
 	d.coalescedReads.Store(0)
 	d.coalescedPages.Store(0)
+	d.queuedDelay.Store(0)
+	d.throttledOps.Store(0)
+	d.fgBusy.Store(0)
+	d.maintBusy.Store(0)
 	for i := range d.channels {
 		d.channels[i].seeks.Store(0)
 		d.channels[i].seqPages.Store(0)

@@ -21,11 +21,16 @@ type Storage interface {
 	NumPages(id FileID) (int64, error)
 	TotalPages() int64
 
-	// Page I/O, with and without cancellation.
+	// Page I/O, with and without cancellation. The Ctx variants also carry
+	// QoS: the platter charge is attributed to the context's OpScope (exact
+	// per-query accounting on any topology), and foreground-scoped
+	// operations register in flight for the maintenance throttle.
 	ReadPage(id FileID, idx int64, buf []byte) error
 	ReadPageCtx(ctx context.Context, id FileID, idx int64, buf []byte) error
 	WritePage(id FileID, idx int64, data []byte) error
+	WritePageCtx(ctx context.Context, id FileID, idx int64, data []byte) error
 	AppendPage(id FileID, data []byte) (int64, error)
+	AppendPageCtx(ctx context.Context, id FileID, data []byte) (int64, error)
 	ReadRun(id FileID, start, n int64) ([]byte, error)
 	ReadRunCtx(ctx context.Context, id FileID, start, n int64) ([]byte, error)
 
@@ -50,6 +55,17 @@ type Storage interface {
 	// independent, the original cost model bit for bit.
 	SetShareReads(share bool)
 	ShareReads() bool
+
+	// Background I/O budget (QoS): the maximum fraction of platter busy
+	// time PriMaintenance operations may consume while foreground operations
+	// are in flight. 0 (the default) disables throttling. Wall-clock only —
+	// the simulated clock and every result are identical either way.
+	// Maintenance schedulers honor the budget by calling
+	// AwaitMaintenanceTurn at task boundaries, before acquiring engine
+	// locks; operations themselves are never paused mid-flight.
+	SetMaintenanceBudget(frac float64)
+	MaintenanceBudget() float64
+	AwaitMaintenanceTurn(ctx context.Context) error
 
 	// Close marks the storage closed: subsequent file operations fail with
 	// ErrDeviceClosed, and the buffer cache is released. The owner (the

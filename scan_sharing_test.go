@@ -193,35 +193,87 @@ func TestBatchGroupKey(t *testing.T) {
 	}
 }
 
-// TestTimingsApproximate pins the attribution caveat guard: exact on the
-// default 1x1 topology, flagged approximate as soon as C·D > 1 — on both
-// the Explorer and the engine's PhaseTimes.
-func TestTimingsApproximate(t *testing.T) {
-	exact, err := NewExplorer(Options{})
-	if err != nil {
-		t.Fatal(err)
+// TestExactChargeAttribution pins the arrival-aware contention model's
+// attribution contract on every topology. Every query is billed its own
+// service time (the old max-across-channels clock delta shadowed later
+// serial queries on multi-channel topologies down to ~0), and the bills
+// conserve: summed over a serial workload they equal the platters' total
+// busy time plus cache-hit service plus recorded queueing delay — no
+// charge is double-billed or dropped. On the 1x1 topology the sum must
+// stay bit-for-bit identical to the device clock.
+func TestExactChargeAttribution(t *testing.T) {
+	cost := CostModel{
+		Seek:     500 * time.Microsecond,
+		Transfer: 25 * time.Microsecond,
+		CacheHit: 200 * time.Nanosecond,
 	}
-	if exact.TimingsApproximate() {
-		t.Error("1x1 topology flagged approximate")
+	hot := Cube(V(0.3, 0.3, 0.3), 0.08)
+	queries := []Query{
+		{Range: hot, Datasets: []DatasetID{0, 1, 2}},
+		{Range: hot, Datasets: []DatasetID{0, 1, 2}},
+		{Range: Cube(V(0.6, 0.5, 0.4), 0.1), Datasets: []DatasetID{0, 1}},
+		{Range: Cube(V(0.3, 0.3, 0.3), 0.06), Datasets: []DatasetID{0, 1, 2}},
+		{Range: Cube(V(0.7, 0.7, 0.7), 0.05), Datasets: []DatasetID{2}},
+		{Range: Cube(V(0.25, 0.35, 0.3), 0.07), Datasets: []DatasetID{0, 1, 2}},
 	}
-	if exact.Metrics().Phases.Approximate {
-		t.Error("1x1 PhaseTimes flagged approximate")
+	data := GenerateDatasets(DataConfig{Seed: 7, NumObjects: 2000, Clusters: 3}, 3)
+
+	run := func(t *testing.T, opts Options) (*Explorer, time.Duration) {
+		t.Helper()
+		opts.Cost = cost
+		ex, err := NewExplorer(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, objs := range data {
+			if err := ex.AddDataset(DatasetID(i), objs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var total time.Duration
+		for qi, q := range queries {
+			_, dt, err := ex.QueryTimed(q.Range, q.Datasets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dt <= 0 {
+				t.Errorf("query %d billed %v; every query must be charged its own service time", qi, dt)
+			}
+			total += dt
+		}
+		return ex, total
 	}
-	multi, err := NewExplorer(Options{Devices: 2, Channels: 2})
-	if err != nil {
-		t.Fatal(err)
+
+	// conserved asserts sum(per-query bills) == busy + cache hits + queueing.
+	conserved := func(t *testing.T, ex *Explorer, total time.Duration) {
+		t.Helper()
+		var busy time.Duration
+		for _, dev := range ex.ChannelStats() {
+			for _, ch := range dev {
+				busy += ch.Busy
+			}
+		}
+		stats := ex.DiskStats()
+		want := busy + time.Duration(stats.CacheHits)*cost.CacheHit + stats.QueuedDelay
+		if total != want {
+			t.Fatalf("QueryTimed sum %v != busy %v + cache %v + queued %v = %v",
+				total, busy, time.Duration(stats.CacheHits)*cost.CacheHit, stats.QueuedDelay, want)
+		}
 	}
-	if !multi.TimingsApproximate() {
-		t.Error("2x2 topology not flagged approximate")
-	}
-	if !multi.Metrics().Phases.Approximate {
-		t.Error("2x2 PhaseTimes not flagged approximate")
-	}
-	channelsOnly, err := NewExplorer(Options{Channels: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !channelsOnly.TimingsApproximate() {
-		t.Error("1x4 topology not flagged approximate")
-	}
+
+	t.Run("1x1_matches_clock", func(t *testing.T) {
+		ex, total := run(t, Options{})
+		if clk := ex.Clock(); total != clk {
+			t.Fatalf("serial 1x1 QueryTimed sum %v != device clock %v (must be bit-for-bit)", total, clk)
+		}
+		conserved(t, ex, total)
+	})
+	t.Run("2x2_conserves", func(t *testing.T) {
+		ex, total := run(t, Options{Devices: 2, Channels: 2})
+		conserved(t, ex, total)
+	})
+	t.Run("1x4_conserves", func(t *testing.T) {
+		ex, total := run(t, Options{Channels: 4})
+		conserved(t, ex, total)
+	})
 }

@@ -59,6 +59,21 @@ type (
 	Query = workload.Query
 	// MergeLevelPolicy selects the mixed-refinement-level merge strategy.
 	MergeLevelPolicy = core.LevelPolicy
+	// Priority classifies device operations for QoS: foreground query I/O,
+	// throttleable background maintenance, or deadline-imminent urgent work
+	// (see AdmissionConfig.UrgentDeadline and Options.MaintenanceBudget).
+	Priority = simdisk.Priority
+)
+
+// Storage QoS priority classes.
+const (
+	// PriForeground is interactive query I/O (the default class).
+	PriForeground = simdisk.PriForeground
+	// PriMaintenance is background layout maintenance, throttleable via
+	// Options.MaintenanceBudget.
+	PriMaintenance = simdisk.PriMaintenance
+	// PriUrgent is deadline-imminent query I/O; it jumps per-channel queues.
+	PriUrgent = simdisk.PriUrgent
 )
 
 // Merge level policies (paper §3.2.5).
