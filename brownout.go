@@ -1,0 +1,115 @@
+package odyssey
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefaultBrownoutWindow is the degradation controller's sampling period when
+// Options.BrownoutWindow is unset.
+const DefaultBrownoutWindow = 25 * time.Millisecond
+
+// brownoutMinReads is the fewest read attempts a sampling window must have
+// observed before the controller judges the fault rate; quieter windows keep
+// the previous state, so an idle Explorer neither engages on one stray fault
+// nor disengages just because no traffic arrived to measure.
+const brownoutMinReads = 16
+
+// BrownoutStats is the graceful-degradation ledger
+// (Options.BrownoutThreshold).
+type BrownoutStats struct {
+	// Engaged reports whether the Explorer is browned out right now.
+	Engaged bool
+	// Engagements counts how many times the controller engaged a brownout.
+	Engagements int64
+	// ShedQueries counts dispatcher submissions shed with ErrOverloaded
+	// because they were tagged PriMaintenance during a brownout.
+	ShedQueries int64
+}
+
+// brownout is the graceful-degradation controller: a sampling loop that
+// watches the device's fault/retry counters and flips the Explorer into (and
+// out of) degraded serving. Engaging pauses background maintenance — the
+// retry/quarantine machinery stops burning reads against a sick device and
+// the layout freezes, so queries keep answering from the last published
+// layout and the result cache — and makes the dispatcher shed PriMaintenance
+// submissions with ErrOverloaded. Disengagement uses hysteresis (half the
+// engage threshold) so a rate hovering at the threshold does not flap.
+type brownout struct {
+	ex        *Explorer
+	threshold float64
+	window    time.Duration
+
+	stopCh chan struct{}
+	done   chan struct{}
+
+	engaged     atomic.Bool
+	engagements atomic.Int64
+	sheds       atomic.Int64
+}
+
+// startBrownout launches the controller loop. threshold must be positive;
+// window <= 0 defaults to DefaultBrownoutWindow.
+func startBrownout(ex *Explorer, threshold float64, window time.Duration) *brownout {
+	if window <= 0 {
+		window = DefaultBrownoutWindow
+	}
+	b := &brownout{
+		ex:        ex,
+		threshold: threshold,
+		window:    window,
+		stopCh:    make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// stop terminates the controller loop and, if a brownout is engaged, leaves
+// it engaged — Explorer.Close calls stop first and the engine's own Close
+// unpauses maintenance on its way down, so nothing is left stuck.
+func (b *brownout) stop() {
+	close(b.stopCh)
+	<-b.done
+}
+
+// run is the sampling loop: every window, compute the fault rate of the
+// window's read attempts and move the engaged state through the
+// engage/disengage thresholds.
+func (b *brownout) run() {
+	defer close(b.done)
+	ticker := time.NewTicker(b.window)
+	defer ticker.Stop()
+	last := b.ex.dev.Stats()
+	for {
+		select {
+		case <-b.stopCh:
+			return
+		case <-ticker.C:
+		}
+		cur := b.ex.dev.Stats()
+		// Faulted attempts are rejected before any charge or counter, so the
+		// window's total read attempts are the successful reads plus the
+		// faults themselves. Stat resets (AddDataset, harness phases) make
+		// deltas negative; treat such a window as unmeasurable.
+		faults := (cur.TransientFaults - last.TransientFaults) +
+			(cur.PermanentFaults - last.PermanentFaults)
+		attempts := (cur.PageReads - last.PageReads) +
+			(cur.CacheHits - last.CacheHits) + faults
+		last = cur
+		if attempts < brownoutMinReads || faults < 0 {
+			continue
+		}
+		rate := float64(faults) / float64(attempts)
+		if !b.engaged.Load() {
+			if rate >= b.threshold {
+				b.engaged.Store(true)
+				b.engagements.Add(1)
+				b.ex.engine.SetMaintenancePaused(true)
+			}
+		} else if rate < b.threshold/2 {
+			b.engaged.Store(false)
+			b.ex.engine.SetMaintenancePaused(false)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 )
@@ -82,6 +83,65 @@ func TestExplorerCloseDrainsMaintenance(t *testing.T) {
 	}
 	if g := runtime.NumGoroutine(); g > before+2 {
 		t.Errorf("goroutines did not settle after Close: %d before, %d after", before, g)
+	}
+}
+
+// TestExplorerCloseDuringFaultStorm extends the drain test into the worst
+// weather: Close lands while a fault storm has queries retrying, maintenance
+// tasks failing into backoff re-enqueues and quarantine, and the brownout
+// controller sampling — every goroutine (workers, retry timers, the
+// controller) must still wind down, the ledger must balance, and the device
+// must close cleanly.
+func TestExplorerCloseDuringFaultStorm(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ex := asyncEnv(t, Options{
+		MaintenanceWorkers:      3,
+		Retry:                   RetryPolicy{MaxAttempts: 4, Backoff: time.Millisecond},
+		QuarantineAfter:         2,
+		MaintenanceRetryBackoff: time.Millisecond,
+		BrownoutThreshold:       0.25,
+		BrownoutWindow:          2 * time.Millisecond,
+	})
+	ex.SetRealTimeScale(0.05)
+	ex.SetFaultPlan(FaultPlan{
+		Seed:          33,
+		TransientRate: 0.3,
+		SpikeRate:     0.05,
+		SpikeLatency:  2 * time.Millisecond,
+	})
+
+	hot := Cube(V(0.4, 0.45, 0.5), 0.1)
+	dss := []DatasetID{0, 1, 2}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				ex.Query(hot, dss) // faults and ErrClosed both expected
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := ex.Close(); err != nil {
+		t.Fatalf("Close mid-storm: %v", err)
+	}
+	wg.Wait()
+
+	st := ex.MaintenanceStats()
+	if st.Queued != st.Completed+st.Failed+st.Dropped {
+		t.Errorf("maintenance ledger does not balance after mid-storm Close: %+v", st)
+	}
+	if _, err := ex.Query(hot, dss); !errors.Is(err, ErrClosed) {
+		t.Errorf("Query after Close = %v, want ErrClosed", err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > before+2 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Errorf("goroutines did not settle after mid-storm Close: %d before, %d after", before, g)
 	}
 }
 

@@ -71,6 +71,8 @@ func main() {
 		share      = flag.Bool("share", false, "with -parallel: compare ShareScans off vs on under an overlapping hot-region pooled workload (coalesced reads, pages saved, byte-identical results), writing BENCH_sharing.json fields via -json")
 		cacheCmp   = flag.Bool("cache", false, "with -parallel: compare CacheResults off vs on under a zipf hot-region pooled workload (exact + containment cache hits, zero-device-read queries, byte-identical results), writing BENCH_cache.json fields via -json; composes with -share and -async")
 		batchWin   = flag.Duration("batchwindow", 2*time.Millisecond, "dispatcher micro-batch window for the -share comparison's sharing mode (0 disables batching)")
+		faults     = flag.Bool("faults", false, "with -parallel: availability experiment under a seeded transient device fault storm — the converged workload is replayed fault-free and then mid-storm with read retries on, reporting served fraction, latency percentiles, the retry ledger and fingerprint identity of every served query, writing BENCH_faults.json via -json; composes with -share/-cache/-async")
+		faultRate  = flag.Float64("faultrate", 0.01, "base transient fault probability per read attempt for -faults (storm windows run at 10x this rate)")
 		contention = flag.Bool("contention", false, "with -parallel -async: additionally replay the cold async pass with the background I/O budget on (-maintbudget), reporting foreground latency percentiles under mixed query+maintenance contention, throttled vs unthrottled")
 		maintBgt   = flag.Float64("maintbudget", 0.2, "background I/O budget fraction for -contention: the share of platter busy time maintenance may consume while foreground queries are in flight")
 	)
@@ -145,6 +147,16 @@ func main() {
 				fatalf("-maintbudget must be in (0,1)")
 			}
 		}
+		if *faults {
+			if *deadline != 0 || *maxInFl != 0 || *queueWait != 0 {
+				fatalf("-deadline/-maxinflight/-queuewait cannot be combined with -faults (availability is measured without admission shedding)")
+			}
+			if *faultRate <= 0 || *faultRate >= 1 {
+				fatalf("-faultrate must be in (0,1)")
+			}
+			runFaultsServing(cfg, wcfg, *parallel, *rtScale, *share, *cacheCmp, *asyncCmp, *maintWk, *faultRate, *jsonPath)
+			return
+		}
 		if *cacheCmp {
 			if *deadline != 0 || *maxInFl != 0 || *queueWait != 0 {
 				fatalf("-deadline/-maxinflight/-queuewait cannot be combined with -cache (the comparison measures raw caching gains)")
@@ -185,6 +197,9 @@ func main() {
 	}
 	if *cacheCmp {
 		fatalf("-cache needs -parallel (the caching comparison replays a pooled serving workload)")
+	}
+	if *faults {
+		fatalf("-faults needs -parallel (availability is measured on the pooled serving workload)")
 	}
 	if *deadline != 0 || *maxInFl != 0 || *queueWait != 0 {
 		fatalf("-deadline/-maxinflight/-queuewait only apply to the -parallel experiment")
@@ -1399,19 +1414,268 @@ type cacheReport struct {
 	ResultsIdentical    bool            `json:"results_identical"`
 }
 
+// runFaultsServing measures availability under a deterministic device fault
+// storm: the zipf hot-region workload converges once on a healthy instant
+// disk, replays once fault-free through the pool (recording a per-query
+// result fingerprint — every query must succeed on a healthy device), then a
+// seeded transient-fault plan with periodic 10x storm windows is installed
+// alongside the read retry policy and the identical workload replays again.
+// The report is the availability ledger: the fraction of queries served
+// mid-storm, their latency percentiles, the device's fault/retry counters,
+// and fingerprint identity of every served query with its fault-free answer —
+// a degraded device may fail queries, never corrupt them. The result cache
+// (-cache) is the degradation backstop: windows it contains are answered with
+// zero device reads no matter how sick the platter is.
+func runFaultsServing(cfg bench.Config, wcfg bench.WorkloadConfig, workers int, scale float64, share, cache, async bool, maintWorkers int, faultRate float64, jsonPath string) {
+	const retryAttempts = 4
+	k := 3
+	if k > cfg.Datasets {
+		k = cfg.Datasets
+	}
+	w, err := workload.Generate(workload.Config{
+		Seed: wcfg.Seed, NumQueries: wcfg.Queries, NumDatasets: cfg.Datasets,
+		DatasetsPerQuery: k, QueryVolumeFrac: wcfg.QueryVolumeFrac,
+		RangeDist: workload.RangeClustered, CombDist: workload.CombZipf,
+		ClusterCenters: 4, SigmaFactor: 0.2,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	data := datagen.GenerateDatasets(datagen.Config{
+		Seed: cfg.DataSeed, NumObjects: cfg.ObjectsPerDataset,
+		Bounds: cfg.Bounds, Layout: cfg.DataLayout,
+	}, cfg.Datasets)
+	policy, err := bench.PlacementByName(cfg.Placement)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("fault-storm availability: %d datasets x %d objects, %d queries, %d workers, realtime x%g\n",
+		cfg.Datasets, cfg.ObjectsPerDataset, wcfg.Queries, workers, scale)
+	fmt.Printf("storage: %d device(s) x %d channel(s), placement %s; share: %v; cache: %v; async maintenance: %v\n",
+		cfg.Devices, cfg.Channels, cfg.Placement, share, cache, async)
+	fmt.Printf("faults: transient rate %g (10x in storm windows), retries: %d attempts\n\n",
+		faultRate, retryAttempts)
+
+	ex, err := odyssey.NewExplorer(odyssey.Options{
+		Bounds: cfg.Bounds, Cost: cfg.Cost, CachePages: cfg.CachePages,
+		DropCachesPerQuery: true,
+		Devices:            cfg.Devices, Channels: cfg.Channels, Placement: policy,
+		AsyncMaintenance: async, MaintenanceWorkers: maintWorkers,
+		ShareScans:   share,
+		CacheResults: cache,
+		Retry:        odyssey.RetryPolicy{MaxAttempts: retryAttempts, Backoff: 200 * time.Microsecond},
+		// The brownout controller runs but should only engage in a real
+		// catastrophe — the experiment measures retry-backed availability,
+		// not shedding.
+		BrownoutThreshold: 0.5,
+		BrownoutWindow:    10 * time.Millisecond,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer func() {
+		if err := ex.Close(); err != nil {
+			fatalf("close: %v", err)
+		}
+	}()
+	for i, objs := range data {
+		if err := ex.AddDataset(odyssey.DatasetID(i), objs); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	for pass := 0; pass < 4; pass++ {
+		before := ex.Metrics()
+		for _, q := range w.Queries {
+			if _, err := ex.Query(q.Range, q.Datasets); err != nil {
+				fatalf("converge: %v", err)
+			}
+		}
+		if err := ex.Quiesce(context.Background()); err != nil {
+			fatalf("quiesce: %v", err)
+		}
+		after := ex.Metrics()
+		if after.Refinements == before.Refinements &&
+			after.PartitionsMerged == before.PartitionsMerged &&
+			after.MergeEvictions == before.MergeEvictions {
+			break
+		}
+	}
+	ex.SetRealTimeScale(scale)
+
+	replay := func(name string) (faultsModeReport, map[int]uint64) {
+		// Both replays start cold-cache so their device traffic is
+		// symmetric: misses hit the (possibly faulting) platter, and the
+		// zipf repeats re-populate and then hit the cache mid-replay.
+		ex.FlushResultCache()
+		ex.ResetClock()
+		ex.ResetStats()
+		cs0 := ex.CacheStats()
+		d := odyssey.NewDispatcherWithAdmission(ex, workers, odyssey.AdmissionConfig{})
+		out := make(chan odyssey.BatchResult, len(w.Queries))
+		t0 := time.Now()
+		for i, q := range w.Queries {
+			if err := d.Submit(i, q, out); err != nil {
+				fatalf("submit: %v", err)
+			}
+		}
+		d.Close()
+		wall := time.Since(t0)
+		close(out)
+		prints := make(map[int]uint64, len(w.Queries))
+		var lat []time.Duration
+		var served, failed int
+		for r := range out {
+			if r.Err != nil {
+				failed++
+				continue
+			}
+			served++
+			prints[r.Index] = fingerprint(r.Objects)
+			lat = append(lat, r.Wall)
+		}
+		if err := ex.Quiesce(context.Background()); err != nil {
+			fatalf("quiesce: %v", err)
+		}
+		ds := ex.DiskStats()
+		cs := ex.CacheStats()
+		rep := faultsModeReport{
+			WallSeconds:     wall.Seconds(),
+			SimSeconds:      ex.Clock().Seconds(),
+			Served:          served,
+			Failed:          failed,
+			LatencyP50:      pct(lat, 50).Seconds(),
+			LatencyP95:      pct(lat, 95).Seconds(),
+			LatencyP99:      pct(lat, 99).Seconds(),
+			PagesRead:       ds.PageReads,
+			TransientFaults: ds.TransientFaults,
+			PermanentFaults: ds.PermanentFaults,
+			LatencySpikes:   ds.LatencySpikes,
+			RetriedOps:      ds.RetriedOps,
+			RetryExhausted:  ds.RetryExhausted,
+			ZeroReadQueries: cs.ZeroReadQueries - cs0.ZeroReadQueries,
+		}
+		if n := len(w.Queries); n > 0 {
+			rep.ServedFraction = float64(rep.Served) / float64(n)
+		}
+		fmt.Printf("%-11s %4d/%d served (%.2f%%)  wall %7.3fs  fg p50 %-10v p99 %v\n",
+			name, served, len(w.Queries), 100*rep.ServedFraction, rep.WallSeconds,
+			pct(lat, 50), pct(lat, 99))
+		if rep.TransientFaults+rep.PermanentFaults > 0 {
+			fmt.Printf("            faults: %d transient, %d permanent, %d spikes; retries: %d performed, %d exhausted; %d zero-read queries\n",
+				rep.TransientFaults, rep.PermanentFaults, rep.LatencySpikes,
+				rep.RetriedOps, rep.RetryExhausted, rep.ZeroReadQueries)
+		}
+		return rep, prints
+	}
+
+	cleanRep, cleanPrints := replay("fault-free")
+	if cleanRep.Failed > 0 {
+		fatalf("healthy device failed %d queries", cleanRep.Failed)
+	}
+	ex.SetFaultPlan(odyssey.FaultPlan{
+		Seed:          wcfg.Seed + 101,
+		TransientRate: faultRate,
+		StormEvery:    2048,
+		StormLength:   256,
+		StormFactor:   10,
+	})
+	stormRep, stormPrints := replay("fault-storm")
+
+	identical := true
+	for i, fp := range stormPrints {
+		if cleanPrints[i] != fp {
+			identical = false
+			break
+		}
+	}
+	bs := ex.BrownoutStats()
+	report := faultsReport{
+		Experiment: "fault-storm",
+		Devices:    cfg.Devices, Channels: cfg.Channels, Placement: cfg.Placement,
+		Workers: workers, Queries: len(w.Queries), RealtimeScale: scale,
+		Share: share, Cache: cache, Async: async,
+		FaultRate: faultRate, RetryMaxAttempts: retryAttempts,
+		Clean: cleanRep, Storm: stormRep,
+		ServedResultsIdentical: identical,
+		BrownoutEngagements:    bs.Engagements,
+		BrownoutSheds:          bs.ShedQueries,
+		DegradedAtEnd:          bs.Engaged,
+	}
+	fmt.Printf("\nserved fraction mid-storm: %.2f%%  served results identical to fault-free: %v  brownout engagements: %d\n",
+		100*stormRep.ServedFraction, identical, bs.Engagements)
+	if !identical {
+		fatalf("a query served mid-storm returned a different result than fault-free — partial results leaked")
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("(wrote %s)\n", jsonPath)
+	}
+}
+
+// faultsModeReport is one replay's measured behaviour in the -faults
+// experiment. Device counters are deltas over the replay; latency
+// percentiles cover served queries only.
+type faultsModeReport struct {
+	WallSeconds     float64 `json:"wall_seconds"`
+	SimSeconds      float64 `json:"sim_seconds"`
+	Served          int     `json:"served"`
+	Failed          int     `json:"failed"`
+	ServedFraction  float64 `json:"served_fraction"`
+	LatencyP50      float64 `json:"latency_p50_seconds"`
+	LatencyP95      float64 `json:"latency_p95_seconds"`
+	LatencyP99      float64 `json:"latency_p99_seconds"`
+	PagesRead       int64   `json:"pages_read"`
+	TransientFaults int64   `json:"transient_faults"`
+	PermanentFaults int64   `json:"permanent_faults"`
+	LatencySpikes   int64   `json:"latency_spikes"`
+	RetriedOps      int64   `json:"retried_ops"`
+	RetryExhausted  int64   `json:"retry_exhausted"`
+	ZeroReadQueries int64   `json:"zero_read_queries"`
+}
+
+// faultsReport is the machine-readable form of the -faults experiment
+// (BENCH_faults.json).
+type faultsReport struct {
+	Experiment             string           `json:"experiment"`
+	Devices                int              `json:"devices"`
+	Channels               int              `json:"channels"`
+	Placement              string           `json:"placement"`
+	Workers                int              `json:"workers"`
+	Queries                int              `json:"queries"`
+	RealtimeScale          float64          `json:"realtime_scale"`
+	Share                  bool             `json:"share"`
+	Cache                  bool             `json:"cache"`
+	Async                  bool             `json:"async"`
+	FaultRate              float64          `json:"fault_rate"`
+	RetryMaxAttempts       int              `json:"retry_max_attempts"`
+	Clean                  faultsModeReport `json:"clean"`
+	Storm                  faultsModeReport `json:"storm"`
+	ServedResultsIdentical bool             `json:"served_results_identical"`
+	BrownoutEngagements    int64            `json:"brownout_engagements"`
+	BrownoutSheds          int64            `json:"brownout_sheds"`
+	DegradedAtEnd          bool             `json:"degraded_at_end"`
+}
+
 // asyncModeReport is one maintenance mode's measured behaviour.
 type asyncModeReport struct {
-	WallSeconds            float64            `json:"wall_seconds"`
-	SimSeconds             float64            `json:"sim_seconds"`
-	LatencyP50             float64            `json:"latency_p50_seconds"`
-	LatencyP95             float64            `json:"latency_p95_seconds"`
-	LatencyP99             float64            `json:"latency_p99_seconds"`
-	Converged              bool               `json:"converged"`
-	ConvergenceWallSeconds float64            `json:"convergence_wall_seconds"`
-	ConvergencePasses      int                `json:"convergence_passes"`
-	Refinements            int                `json:"refinements"`
-	PartitionsMerged       int                `json:"partitions_merged"`
-	MergeFiles             int                `json:"merge_files"`
+	WallSeconds            float64 `json:"wall_seconds"`
+	SimSeconds             float64 `json:"sim_seconds"`
+	LatencyP50             float64 `json:"latency_p50_seconds"`
+	LatencyP95             float64 `json:"latency_p95_seconds"`
+	LatencyP99             float64 `json:"latency_p99_seconds"`
+	Converged              bool    `json:"converged"`
+	ConvergenceWallSeconds float64 `json:"convergence_wall_seconds"`
+	ConvergencePasses      int     `json:"convergence_passes"`
+	Refinements            int     `json:"refinements"`
+	PartitionsMerged       int     `json:"partitions_merged"`
+	MergeFiles             int     `json:"merge_files"`
 	// MaintenanceBudget is the background I/O budget this mode ran under (0
 	// = unthrottled); ThrottledOps counts maintenance device operations the
 	// budget gated, and QueuedDelaySeconds is the total arrival-gated

@@ -330,6 +330,16 @@ func (d *Dispatcher) SubmitCtx(ctx context.Context, index int, q Query, out chan
 	if err := simdisk.CheckCtx(ctx); err != nil {
 		return err
 	}
+	// Graceful degradation: while the Explorer is browned out
+	// (Options.BrownoutThreshold), submissions tagged as background work —
+	// a PriMaintenance scope on the context — are shed with ErrOverloaded
+	// before taking an admission slot, keeping the surviving device
+	// capacity for foreground queries. Untagged and foreground/urgent
+	// submissions are unaffected.
+	if sc := simdisk.ScopeFrom(ctx); sc != nil && sc.Priority() == simdisk.PriMaintenance && d.ex.shedLowPri() {
+		d.rejected.Add(1)
+		return ErrOverloaded
+	}
 	if d.slots != nil {
 		select {
 		case d.slots <- struct{}{}:

@@ -127,6 +127,42 @@ type Options struct {
 	// full, the coldest cached scans — fewest hits, oldest first — are
 	// evicted. Only meaningful with CacheResults.
 	CacheCapacity int64
+	// Retry is the storage-read retry policy: transient device read faults
+	// (ErrTransient) are retried up to MaxAttempts times with exponential
+	// wall-clock backoff, bounded by an optional per-read budget. Retries
+	// never extend the simulated clock — a faulted attempt charges nothing,
+	// so a retried read that succeeds costs exactly one clean read of
+	// simulated time. Permanent faults (ErrPermanent) fail fast without
+	// retrying. The zero value disables retries (every fault surfaces on
+	// first sight, the pre-fault-harness behaviour).
+	Retry RetryPolicy
+	// QuarantineAfter is how many consecutive failures of one background
+	// maintenance unit (a cell's refinement, a combination's merge) trip
+	// quarantine: the unit's enqueues are dropped so a poisoned cell cannot
+	// occupy maintenance workers in a retry loop, while queries keep serving
+	// it from its last published layout. <= 0 defaults to 3. Permanent
+	// device faults quarantine on first sight. Only meaningful with
+	// AsyncMaintenance; see MaintenanceHealth and Unquarantine.
+	QuarantineAfter int
+	// MaintenanceRetryBackoff is the base wall-clock delay before a failed
+	// maintenance task is re-enqueued; it doubles per consecutive failure
+	// with up to 50% jitter. 0 defaults to 2ms. Only meaningful with
+	// AsyncMaintenance.
+	MaintenanceRetryBackoff time.Duration
+	// BrownoutThreshold, when positive, turns on graceful degradation under
+	// fault storms: a background controller samples the device's fault rate
+	// (faulted read attempts over all read attempts) every BrownoutWindow,
+	// and when the rate crosses the threshold the Explorer browns out —
+	// background maintenance pauses (shedding retry pressure and freezing
+	// the layout) and dispatcher submissions tagged PriMaintenance are shed
+	// with ErrOverloaded, while foreground queries keep serving from the
+	// last published layout, the result cache, and whatever reads still
+	// succeed. The brownout disengages, with hysteresis, once the observed
+	// rate falls below half the threshold. 0 (default) never degrades.
+	BrownoutThreshold float64
+	// BrownoutWindow is the degradation controller's sampling period
+	// (default 25ms). Only meaningful with BrownoutThreshold > 0.
+	BrownoutWindow time.Duration
 }
 
 // SharingStats is the scan-sharing ledger (Options.ShareScans): what the
@@ -192,6 +228,8 @@ func (o Options) engineConfig() core.Config {
 	cfg.ShareScans = o.ShareScans
 	cfg.CacheResults = o.CacheResults
 	cfg.CacheCapacity = o.CacheCapacity
+	cfg.QuarantineAfter = o.QuarantineAfter
+	cfg.MaintenanceRetryBackoff = o.MaintenanceRetryBackoff
 	return cfg
 }
 
@@ -210,6 +248,9 @@ type Explorer struct {
 	opts   Options
 	dev    simdisk.Storage
 	engine *core.Odyssey
+	// brown is the graceful-degradation controller
+	// (Options.BrownoutThreshold); nil when degradation is off.
+	brown *brownout
 
 	// mu guards raws, and orders queries (shared) against AddDataset
 	// (exclusive) so the device clock/stat resets in AddDataset never race
@@ -251,17 +292,24 @@ func NewExplorer(opts Options) (*Explorer, error) {
 	if opts.MaintenanceBudget > 0 {
 		dev.SetMaintenanceBudget(opts.MaintenanceBudget)
 	}
+	if opts.Retry != (RetryPolicy{}) {
+		dev.SetRetryPolicy(opts.Retry)
+	}
 	eng, err := core.New(dev, nil, opts.Bounds, opts.engineConfig())
 	if err != nil {
 		return nil, err
 	}
-	return &Explorer{
+	e := &Explorer{
 		opts:      opts,
 		dev:       dev,
 		engine:    eng,
 		raws:      make(map[DatasetID]*rawfile.Raw),
 		closeDone: make(chan struct{}),
-	}, nil
+	}
+	if opts.BrownoutThreshold > 0 {
+		e.brown = startBrownout(e, opts.BrownoutThreshold, opts.BrownoutWindow)
+	}
+	return e, nil
 }
 
 // AddDataset registers a dataset: its objects are written to a raw file on
@@ -523,8 +571,69 @@ func (e *Explorer) MaintenanceStats() MaintenanceStats {
 
 // MaintenanceErr returns the most recent background maintenance task error
 // (nil when every task succeeded or AsyncMaintenance is off). A failed task
-// leaves the layout consistent but unconverged in its region.
+// leaves the layout consistent but unconverged in its region. It is the
+// compatibility accessor over the failure ring; MaintenanceHealth returns
+// the full history.
 func (e *Explorer) MaintenanceErr() error { return e.engine.MaintenanceErr() }
+
+// MaintenanceHealth snapshots the background maintenance pipeline's health
+// ledger: the bounded failure history, the quarantine list, and how many
+// failed tasks are waiting out a retry backoff. Zero-valued when
+// AsyncMaintenance is off.
+func (e *Explorer) MaintenanceHealth() MaintenanceHealth {
+	return e.engine.MaintenanceHealth()
+}
+
+// Unquarantine re-admits one quarantined maintenance unit (identified by a
+// QuarantinedCell from MaintenanceHealth), clearing its failure history so
+// the next failure starts a fresh streak. Returns whether the unit was
+// quarantined.
+func (e *Explorer) Unquarantine(q QuarantinedCell) bool {
+	return e.engine.Unquarantine(q)
+}
+
+// SetFaultPlan installs (or, with the zero plan, clears) a deterministic
+// device fault-injection plan across every member device of the storage
+// topology: explicit per-file/page fault patterns, seeded probabilistic
+// transient/permanent fault rates, latency spikes, and periodic storm
+// windows. Same seed, same read sequence, same faults. Fault-injection is a
+// test-and-benchmark surface; it composes with Options.Retry (transient
+// faults are retried) and the maintenance quarantine.
+func (e *Explorer) SetFaultPlan(plan FaultPlan) { e.dev.SetFaultPlan(plan) }
+
+// SetRetryPolicy changes the storage-read retry policy at runtime (see
+// Options.Retry); the zero policy disables retries.
+func (e *Explorer) SetRetryPolicy(p RetryPolicy) { e.dev.SetRetryPolicy(p) }
+
+// Degraded reports whether the graceful-degradation controller is currently
+// engaged (Options.BrownoutThreshold). Always false with degradation off.
+func (e *Explorer) Degraded() bool {
+	return e.brown != nil && e.brown.engaged.Load()
+}
+
+// BrownoutStats snapshots the degradation controller's ledger. All zeros
+// with Options.BrownoutThreshold unset.
+func (e *Explorer) BrownoutStats() BrownoutStats {
+	if e.brown == nil {
+		return BrownoutStats{}
+	}
+	return BrownoutStats{
+		Engaged:     e.brown.engaged.Load(),
+		Engagements: e.brown.engagements.Load(),
+		ShedQueries: e.brown.sheds.Load(),
+	}
+}
+
+// shedLowPri reports whether a low-priority submission should be shed right
+// now because the Explorer is browned out, counting the shed when so. The
+// dispatcher calls it for submissions tagged PriMaintenance.
+func (e *Explorer) shedLowPri() bool {
+	if e.brown == nil || !e.brown.engaged.Load() {
+		return false
+	}
+	e.brown.sheds.Add(1)
+	return true
+}
 
 // SharingStats returns the scan-sharing ledger: the device layer's
 // coalesced single-flight reads plus the engine layer's attached scans and
@@ -546,6 +655,12 @@ func (e *Explorer) SharingStats() SharingStats {
 // evictions, and epoch-flush invalidations. All zeros when caching is off.
 func (e *Explorer) CacheStats() CacheStats { return e.engine.CacheStats() }
 
+// FlushResultCache drops every entry of the result cache (a no-op with
+// Options.CacheResults off). Benchmarks use it to start a measured phase
+// cold-cache; the flush counts in CacheStats.Invalidations like any
+// layout-publish flush.
+func (e *Explorer) FlushResultCache() { e.engine.FlushResultCache() }
+
 // SetMaintenanceBudget changes the background I/O budget at runtime (see
 // Options.MaintenanceBudget); <= 0 turns throttling off. Benchmarks use it
 // to compare serving behaviour with and without the budget on one Explorer.
@@ -565,6 +680,12 @@ func (e *Explorer) MaintenanceBudget() float64 { return e.dev.MaintenanceBudget(
 func (e *Explorer) Close() error {
 	e.closeOnce.Do(func() {
 		e.closed.Store(true)
+		// The degradation controller goes first: it pokes the engine's
+		// maintenance pause flag and reads device stats, so it must be gone
+		// before either shuts down.
+		if e.brown != nil {
+			e.brown.stop()
+		}
 		// Taking mu exclusively waits out every in-flight query (they hold
 		// it shared for their full duration); new ones fail fast on the
 		// flag.

@@ -1,0 +1,232 @@
+package odyssey
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// faultEnv builds an Explorer over two clustered datasets.
+func faultEnv(t *testing.T, opts Options) *Explorer {
+	t.Helper()
+	ex, err := NewExplorer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := GenerateDatasets(DataConfig{Seed: 23, NumObjects: 2000, Clusters: 3}, 2)
+	for i, objs := range data {
+		if err := ex.AddDataset(DatasetID(i), objs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ex
+}
+
+// objIDs flattens a result set into a sorted (dataset, id) list for
+// order-independent comparison.
+func objIDs(objs []Object) []int64 {
+	ids := make([]int64, len(objs))
+	for i, o := range objs {
+		ids[i] = int64(o.Dataset)<<32 | int64(o.ID)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+// TestFaultNeverCachesPartialScan pins the robustness contract of the result
+// cache and the scan-sharing layer under device faults: a scan that errors
+// mid-read must insert nothing into the result cache (no partial or empty
+// result masquerading as a cached answer), concurrent queries of the same
+// region must all see the error rather than a truncated buffer, and once the
+// device heals the same query must return the full, correct result.
+func TestFaultNeverCachesPartialScan(t *testing.T) {
+	ex := faultEnv(t, Options{ShareScans: true, CacheResults: true})
+	defer ex.Close()
+	dss := []DatasetID{0, 1}
+	warm := Cube(V(0.3, 0.3, 0.3), 0.08)
+	cold := Cube(V(0.7, 0.7, 0.7), 0.08)
+
+	// Warm-up builds the level-0 trees and may populate the cache.
+	if _, err := ex.Query(warm, dss); err != nil {
+		t.Fatal(err)
+	}
+	before := ex.CacheStats()
+
+	// Every read of every page now fails permanently: the cold region's
+	// scans error mid-read on all concurrent attempts.
+	ex.SetFaultPlan(FaultPlan{Seed: 9, PermanentRate: 1})
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = ex.Query(cold, dss)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("query %d over a fully faulted device returned no error", i)
+		}
+		if !errors.Is(err, ErrPermanent) {
+			t.Fatalf("query %d error lost its classification: %v", i, err)
+		}
+	}
+	after := ex.CacheStats()
+	if after.Inserts != before.Inserts {
+		t.Fatalf("failed scans inserted into the result cache: %d -> %d inserts",
+			before.Inserts, after.Inserts)
+	}
+
+	// The device heals (clearing the plan also clears sticky permanent
+	// faults — the simulated sectors were remapped); the same query now
+	// returns the full result, identical to an Explorer that never faulted.
+	ex.SetFaultPlan(FaultPlan{})
+	got, err := ex.Query(cold, dss)
+	if err != nil {
+		t.Fatalf("query after clearing faults: %v", err)
+	}
+	ref := faultEnv(t, Options{})
+	defer ref.Close()
+	if _, err := ref.Query(warm, dss); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Query(cold, dss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("reference query empty; test region misses the data")
+	}
+	g, w := objIDs(got), objIDs(want)
+	if len(g) != len(w) {
+		t.Fatalf("healed query returned %d objects, reference %d", len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("healed query diverged from the never-faulted reference at object %d", i)
+		}
+	}
+}
+
+// TestExplorerRetryPolicy pins the Options.Retry wiring: under a transient
+// fault storm a retrying Explorer answers queries that a retry-less one
+// would fail, the retries are ledgered in DiskStats, and none of them
+// extends the simulated clock (a faulted attempt charges nothing).
+func TestExplorerRetryPolicy(t *testing.T) {
+	ex := faultEnv(t, Options{
+		Retry: RetryPolicy{MaxAttempts: 8, Backoff: 50 * time.Microsecond},
+	})
+	defer ex.Close()
+	dss := []DatasetID{0, 1}
+	q := Cube(V(0.7, 0.7, 0.7), 0.08)
+	if _, err := ex.Query(q, dss); err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline: the same query on a healthy device, for the clock check.
+	ex.ResetClock()
+	ex.SetFaultPlan(FaultPlan{})
+	if _, err := ex.Query(q, dss); err != nil {
+		t.Fatal(err)
+	}
+	clean := ex.Clock()
+
+	ex.SetFaultPlan(FaultPlan{Seed: 13, TransientRate: 0.3})
+	ex.ResetClock()
+	got, err := ex.Query(q, dss)
+	if err != nil {
+		t.Fatalf("retrying query failed under 30%% transient faults: %v", err)
+	}
+	if len(got) == 0 {
+		t.Fatal("retried query returned nothing")
+	}
+	stormy := ex.Clock()
+	ds := ex.DiskStats()
+	if ds.RetriedOps == 0 || ds.TransientFaults == 0 {
+		t.Fatalf("retry ledger empty under a storm: %+v", ds)
+	}
+	// The query's pages are already buffer-cached from the baseline run, so
+	// both runs serve mostly cache hits; the point is only that retries add
+	// zero simulated time — the stormy run must not exceed the clean run by
+	// more than the noise of layout work already done.
+	if stormy > 2*clean+time.Millisecond {
+		t.Fatalf("retries extended the simulated clock: clean %v, stormy %v", clean, stormy)
+	}
+}
+
+// TestBrownoutDegradesAndRecovers pins graceful degradation end to end: a
+// fault storm crossing BrownoutThreshold engages the brownout (Degraded
+// flips, PriMaintenance dispatcher submissions shed with ErrOverloaded,
+// foreground submissions still admitted), and once the storm clears the
+// controller disengages with hysteresis.
+func TestBrownoutDegradesAndRecovers(t *testing.T) {
+	ex := faultEnv(t, Options{
+		AsyncMaintenance:   true,
+		MaintenanceWorkers: 2,
+		Retry:              RetryPolicy{MaxAttempts: 6, Backoff: 50 * time.Microsecond},
+		BrownoutThreshold:  0.2,
+		BrownoutWindow:     5 * time.Millisecond,
+		DropCachesPerQuery: true,
+	})
+	defer ex.Close()
+	dss := []DatasetID{0, 1}
+	hot := Cube(V(0.45, 0.45, 0.5), 0.08)
+	if _, err := ex.Query(hot, dss); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Degraded() {
+		t.Fatal("Explorer degraded before any fault")
+	}
+
+	// Storm: half of all read attempts fault. The query loop keeps reads
+	// flowing so the controller has windows to judge.
+	ex.SetFaultPlan(FaultPlan{Seed: 21, TransientRate: 0.5})
+	deadline := time.Now().Add(10 * time.Second)
+	for !ex.Degraded() && time.Now().Before(deadline) {
+		ex.Query(hot, dss) // errors expected mid-storm; reads still count
+	}
+	if !ex.Degraded() {
+		t.Fatal("brownout never engaged under a 50% fault storm")
+	}
+
+	// Degraded serving: background-tagged submissions shed, foreground
+	// admitted.
+	d := NewDispatcher(ex, 2)
+	out := make(chan BatchResult, 4)
+	low := WithPriority(context.Background(), PriMaintenance)
+	if err := d.SubmitCtx(low, 0, Query{Range: hot, Datasets: dss}, out); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("PriMaintenance submission during brownout = %v, want ErrOverloaded", err)
+	}
+	if err := d.Submit(1, Query{Range: hot, Datasets: dss}, out); err != nil {
+		t.Fatalf("foreground submission during brownout refused: %v", err)
+	}
+	d.Close()
+	<-out // the storm may fail the query itself; only admission is asserted
+
+	// The storm clears; clean traffic must disengage the brownout.
+	ex.SetFaultPlan(FaultPlan{})
+	deadline = time.Now().Add(10 * time.Second)
+	for ex.Degraded() && time.Now().Before(deadline) {
+		if _, err := ex.Query(hot, dss); err != nil {
+			t.Fatalf("query after the storm cleared: %v", err)
+		}
+	}
+	if ex.Degraded() {
+		t.Fatal("brownout never disengaged after the storm cleared")
+	}
+	bs := ex.BrownoutStats()
+	if bs.Engagements == 0 {
+		t.Fatalf("no engagement ledgered: %+v", bs)
+	}
+	if bs.ShedQueries == 0 {
+		t.Fatalf("no shed ledgered: %+v", bs)
+	}
+	if ds := ex.DiskStats(); ds.RetriedOps == 0 {
+		t.Fatalf("storm produced no ledgered retries: %+v", ds)
+	}
+}

@@ -3,7 +3,9 @@ package core
 import (
 	"container/heap"
 	"context"
+	"math/rand"
 	"sync"
+	"time"
 
 	"spaceodyssey/internal/geom"
 	"spaceodyssey/internal/object"
@@ -34,6 +36,14 @@ type MaintenanceStats struct {
 	MergeTasks  int64
 	// Refinements is how many refinement operations maintenance applied.
 	Refinements int64
+	// Retried is how many failed tasks were re-enqueued with backoff by the
+	// self-healing policy (each re-enqueue also counts in Queued when it
+	// lands, so the ledger invariant above still balances).
+	Retried int64
+	// Quarantined is how many units (dataset cells, combinations) were
+	// quarantined after repeated or permanent failures (lifetime count; see
+	// Health for the current list).
+	Quarantined int64
 	// QueueDepth is the current number of queued (not yet running) tasks.
 	QueueDepth int
 	// QueueDepthHighWater is the deepest the queue has ever been — the
@@ -136,7 +146,22 @@ type maintainer struct {
 	queueLen int
 	inFlight int
 	stats    MaintenanceStats
-	lastErr  error
+
+	// Self-healing state (see health.go): the bounded failure ring, the
+	// per-unit consecutive-failure counts, the quarantine set, and the
+	// in-flight retry timers (pendingRetries holds the pipeline non-idle
+	// while a failed task waits out its backoff; retryStop aborts the
+	// timers on Close).
+	ring            []MaintenanceFailure
+	ringCap         int
+	failCount       map[healthKey]int
+	quarantine      map[healthKey]*quarantineEntry
+	pendingRetries  int
+	retryStop       chan struct{}
+	retryWG         sync.WaitGroup
+	rng             *rand.Rand
+	quarantineAfter int
+	retryBackoff    time.Duration
 
 	idleNow bool
 	idle    chan struct{}
@@ -152,16 +177,35 @@ func newMaintainer(o *Odyssey, workers int) *maintainer {
 	if workers <= 0 {
 		workers = 2
 	}
+	quarantineAfter := o.cfg.QuarantineAfter
+	if quarantineAfter <= 0 {
+		quarantineAfter = DefaultQuarantineAfter
+	}
+	retryBackoff := o.cfg.MaintenanceRetryBackoff
+	if retryBackoff <= 0 {
+		retryBackoff = DefaultMaintenanceRetryBackoff
+	}
+	ringCap := o.cfg.MaintenanceHealthRing
+	if ringCap <= 0 {
+		ringCap = DefaultMaintenanceHealthRing
+	}
 	m := &maintainer{
-		o:             o,
-		workers:       workers,
-		refineQ:       make(map[object.DatasetID]*heatHeap[refineTask]),
-		refinePending: make(map[object.DatasetID]map[octree.Key]*heatItem[refineTask]),
-		activeRefine:  make(map[object.DatasetID]bool),
-		mergePending:  make(map[ComboKey]*heatItem[mergeTask]),
-		activeMerge:   make(map[ComboKey]bool),
-		idleNow:       true,
-		idle:          make(chan struct{}),
+		o:               o,
+		workers:         workers,
+		refineQ:         make(map[object.DatasetID]*heatHeap[refineTask]),
+		refinePending:   make(map[object.DatasetID]map[octree.Key]*heatItem[refineTask]),
+		activeRefine:    make(map[object.DatasetID]bool),
+		mergePending:    make(map[ComboKey]*heatItem[mergeTask]),
+		activeMerge:     make(map[ComboKey]bool),
+		ringCap:         ringCap,
+		failCount:       make(map[healthKey]int),
+		quarantine:      make(map[healthKey]*quarantineEntry),
+		retryStop:       make(chan struct{}),
+		rng:             newMaintRand(),
+		quarantineAfter: quarantineAfter,
+		retryBackoff:    retryBackoff,
+		idleNow:         true,
+		idle:            make(chan struct{}),
 	}
 	close(m.idle) // idle at birth
 	m.cond = sync.NewCond(&m.mu)
@@ -186,9 +230,11 @@ func (m *maintainer) noteWorkLocked() {
 	}
 }
 
-// maybeIdleLocked closes the idle channel when nothing is queued or running.
+// maybeIdleLocked closes the idle channel when nothing is queued, running,
+// or waiting out a retry backoff — a pipeline with a pending retry is not
+// done, and Quiesce must wait the retry chain out.
 func (m *maintainer) maybeIdleLocked() {
-	if !m.idleNow && m.queueLen == 0 && m.inFlight == 0 {
+	if !m.idleNow && m.queueLen == 0 && m.inFlight == 0 && m.pendingRetries == 0 {
 		close(m.idle)
 		m.idleNow = true
 	}
@@ -204,6 +250,14 @@ func (m *maintainer) maybeIdleLocked() {
 func (m *maintainer) EnqueueRefine(ds object.DatasetID, keys []octree.Key, box geom.Box, qVol float64, members []object.DatasetID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.enqueueRefineLocked(ds, keys, box, qVol, members)
+}
+
+// enqueueRefineLocked is EnqueueRefine's core, shared with the retry timers
+// (which re-enqueue inside the critical section that releases their
+// pendingRetries hold). Quarantined cells are dropped here — the one gate
+// that keeps a poisoned cell from ever occupying a worker again.
+func (m *maintainer) enqueueRefineLocked(ds object.DatasetID, keys []octree.Key, box geom.Box, qVol float64, members []object.DatasetID) {
 	if m.closed {
 		return
 	}
@@ -222,6 +276,9 @@ func (m *maintainer) EnqueueRefine(ds object.DatasetID, keys []octree.Key, box g
 	members = append([]object.DatasetID(nil), members...)
 	added := false
 	for _, k := range keys {
+		if m.quarantinedLocked(healthKey{ds: ds, cell: k}) {
+			continue
+		}
 		if it := pend[k]; it != nil {
 			m.stats.Coalesced++
 			it.heat++
@@ -248,7 +305,12 @@ func (m *maintainer) EnqueueRefine(ds object.DatasetID, keys []octree.Key, box g
 func (m *maintainer) EnqueueMerge(key ComboKey, members []object.DatasetID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.closed {
+	m.enqueueMergeLocked(key, members)
+}
+
+// enqueueMergeLocked is EnqueueMerge's core, shared with the retry timers.
+func (m *maintainer) enqueueMergeLocked(key ComboKey, members []object.DatasetID) {
+	if m.closed || m.quarantinedLocked(healthKey{merge: true, combo: key}) {
 		return
 	}
 	if it := m.mergePending[key]; it != nil {
@@ -377,8 +439,9 @@ func (m *maintainer) worker() {
 		}
 		if err != nil {
 			m.stats.Failed++
-			m.lastErr = err
+			m.noteFailureLocked(task, err)
 		} else {
+			m.clearFailuresLocked(task)
 			m.stats.Completed++
 			if task.isMerge {
 				m.stats.MergeTasks++
@@ -401,11 +464,16 @@ func (m *maintainer) Stats() MaintenanceStats {
 	return s
 }
 
-// Err returns the most recent task error (nil when everything succeeded).
+// Err returns the most recent task error (nil when everything succeeded so
+// far, or the ring has aged the last failure out). It is the compatibility
+// accessor over the failure ring — Health returns the full history.
 func (m *maintainer) Err() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.lastErr
+	if len(m.ring) == 0 {
+		return nil
+	}
+	return m.ring[len(m.ring)-1].Err
 }
 
 // SetPaused freezes (true) or thaws (false) task pickup; queued work stays
@@ -445,6 +513,7 @@ func (m *maintainer) Close() {
 	m.mu.Lock()
 	if !m.closed {
 		m.closed = true
+		close(m.retryStop) // wake retry timers; they observe closed and exit
 		m.stats.Dropped += int64(m.queueLen)
 		m.queueLen = 0
 		m.stats.QueueDepth = 0
@@ -457,5 +526,6 @@ func (m *maintainer) Close() {
 		m.cond.Broadcast()
 	}
 	m.mu.Unlock()
+	m.retryWG.Wait()
 	m.wg.Wait()
 }

@@ -56,6 +56,20 @@ type Config struct {
 	// defaults to DefaultCacheCapacity). Eviction is heat-aware: coldest
 	// entries (fewest hits, oldest among equals) leave first.
 	CacheCapacity int64
+	// QuarantineAfter is how many consecutive failures of one maintenance
+	// unit (a dataset cell's refinement, a combination's merge) quarantine
+	// it — its enqueues are then dropped until Unquarantine, so a poisoned
+	// cell cannot wedge the scheduler. <= 0 defaults to
+	// DefaultQuarantineAfter. Permanent device faults quarantine on first
+	// sight. Only meaningful with AsyncMaintenance.
+	QuarantineAfter int
+	// MaintenanceRetryBackoff is the base wall-clock delay before a failed
+	// maintenance task is re-enqueued, doubling per consecutive failure with
+	// up to 50% jitter. <= 0 defaults to DefaultMaintenanceRetryBackoff.
+	MaintenanceRetryBackoff time.Duration
+	// MaintenanceHealthRing bounds the failure-history ring MaintenanceHealth
+	// reports. <= 0 defaults to DefaultMaintenanceHealthRing.
+	MaintenanceHealthRing int
 }
 
 // DefaultConfig returns the paper's configuration: rt=4, ppl=64, mt=2,
@@ -1088,12 +1102,54 @@ func (o *Odyssey) MaintenanceStats() MaintenanceStats {
 }
 
 // MaintenanceErr returns the most recent background task error, nil when
-// every task succeeded or maintenance is synchronous.
+// every task succeeded or maintenance is synchronous. It is the
+// compatibility accessor over the bounded failure ring — MaintenanceHealth
+// returns the full history, the quarantine list and the retry state.
 func (o *Odyssey) MaintenanceErr() error {
 	if o.maint == nil {
 		return nil
 	}
 	return o.maint.Err()
+}
+
+// MaintenanceHealth snapshots the background pipeline's structured health
+// ledger: the bounded failure history, the currently quarantined units, and
+// how many failed tasks are waiting out a retry backoff. Zero when
+// maintenance is synchronous.
+func (o *Odyssey) MaintenanceHealth() MaintenanceHealth {
+	if o.maint == nil {
+		return MaintenanceHealth{}
+	}
+	return o.maint.Health()
+}
+
+// Unquarantine re-admits one quarantined maintenance unit (operator
+// recovery after replacing a bad device, say), clearing its failure streak.
+// Returns whether the unit was quarantined.
+func (o *Odyssey) Unquarantine(q QuarantinedCell) bool {
+	if o.maint == nil {
+		return false
+	}
+	return o.maint.Unquarantine(q)
+}
+
+// SetMaintenancePaused freezes (true) or thaws (false) background task
+// pickup; queued work stays queued while paused. The brownout controller
+// uses it to shed maintenance load during fault storms. A no-op when
+// maintenance is synchronous.
+func (o *Odyssey) SetMaintenancePaused(paused bool) {
+	if o.maint != nil {
+		o.maint.SetPaused(paused)
+	}
+}
+
+// FlushResultCache drops every entry of the result cache (a no-op with
+// caching off). An operator control and measurement knob: benchmarks use it
+// to start a measured phase cold-cache without touching the layout.
+func (o *Odyssey) FlushResultCache() {
+	if o.rcache != nil {
+		o.rcache.Invalidate()
+	}
 }
 
 // Quiesce blocks until the maintenance pipeline has drained every queued

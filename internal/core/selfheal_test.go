@@ -1,0 +1,226 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"spaceodyssey/internal/engine"
+	"spaceodyssey/internal/geom"
+	"spaceodyssey/internal/object"
+	"spaceodyssey/internal/octree"
+	"spaceodyssey/internal/simdisk"
+)
+
+// healConfig is asyncConfig tightened for fast self-healing tests.
+func healConfig(workers, quarantineAfter int) Config {
+	cfg := asyncConfig(workers)
+	cfg.QuarantineAfter = quarantineAfter
+	cfg.MaintenanceRetryBackoff = time.Millisecond
+	return cfg
+}
+
+// quiesceTimeout fails the test rather than hanging when the pipeline never
+// drains.
+func quiesceTimeout(t *testing.T, eng *Odyssey) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := eng.Quiesce(ctx); err != nil {
+		t.Fatalf("quiesce: %v", err)
+	}
+}
+
+// enqueueHotWork runs a refinement-demanding query with the scheduler
+// paused, so tasks are queued but none has run yet.
+func enqueueHotWork(t *testing.T, eng *Odyssey, dss []object.DatasetID) {
+	t.Helper()
+	eng.maint.SetPaused(true)
+	q := geom.Cube(geom.V(0.42, 0.42, 0.42), 0.1)
+	if _, err := eng.Query(q, dss); err != nil {
+		t.Fatal(err)
+	}
+	if eng.MaintenanceStats().Queued == 0 {
+		t.Fatal("hot query enqueued no maintenance work")
+	}
+}
+
+// TestMaintenanceRetryToSuccess pins the self-healing happy path: a task
+// that fails on transient device faults is re-enqueued with backoff and
+// eventually completes, with the retry ledgered, the failure recorded in
+// the health ring, and nothing quarantined.
+func TestMaintenanceRetryToSuccess(t *testing.T) {
+	eng, _, dev := testSetup(t, 1, 3000, 11, healConfig(1, 5))
+	defer eng.Close()
+	enqueueHotWork(t, eng, []object.DatasetID{0})
+
+	// Fault the tree file's next two platter reads: the first task execution
+	// fails, its retry (and everything after) succeeds.
+	treeFile := eng.Tree(0).File().ID()
+	dev.SetFaultPlan(simdisk.FaultPlan{
+		Seed:  3,
+		Pages: []simdisk.PageFault{{File: treeFile, Page: -1, Kind: simdisk.FaultTransient, Count: 2}},
+	})
+	eng.maint.SetPaused(false)
+	quiesceTimeout(t, eng)
+
+	st := eng.MaintenanceStats()
+	if st.Failed == 0 {
+		t.Fatal("fault plan never failed a task")
+	}
+	if st.Retried == 0 {
+		t.Fatal("failed task was not retried")
+	}
+	if st.Completed == 0 {
+		t.Fatal("no task completed despite retries")
+	}
+	if st.Quarantined != 0 {
+		t.Fatalf("transient blip quarantined %d units", st.Quarantined)
+	}
+	// Ledger balances at idle: every queued task completed or failed.
+	if st.Queued != st.Completed+st.Failed+st.Dropped {
+		t.Fatalf("ledger unbalanced: queued %d != completed %d + failed %d + dropped %d",
+			st.Queued, st.Completed, st.Failed, st.Dropped)
+	}
+	h := eng.MaintenanceHealth()
+	if len(h.Failures) == 0 {
+		t.Fatal("health ring recorded no failures")
+	}
+	var sawRetry bool
+	for _, f := range h.Failures {
+		if f.Retried {
+			sawRetry = true
+			if !errors.Is(f.Err, simdisk.ErrTransient) {
+				t.Fatalf("retried failure lost classification: %v", f.Err)
+			}
+		}
+	}
+	if !sawRetry {
+		t.Fatal("no ring entry marked Retried")
+	}
+	if len(h.Quarantined) != 0 {
+		t.Fatalf("quarantine list not empty: %+v", h.Quarantined)
+	}
+	// Compatibility accessor returns the latest ring entry.
+	if err := eng.MaintenanceErr(); !errors.Is(err, simdisk.ErrTransient) {
+		t.Fatalf("MaintenanceErr = %v, want latest transient fault", err)
+	}
+	if h.Failures[len(h.Failures)-1].Err != eng.MaintenanceErr() {
+		t.Fatal("MaintenanceErr is not the ring's latest entry")
+	}
+}
+
+// TestMaintenanceQuarantine pins the poisoned-cell path: a unit that keeps
+// failing is quarantined after QuarantineAfter consecutive failures, stops
+// consuming workers (its enqueues are dropped), queries keep serving from
+// the last published layout, and Unquarantine re-admits it.
+func TestMaintenanceQuarantine(t *testing.T) {
+	eng, raws, dev := testSetup(t, 1, 3000, 11, healConfig(1, 2))
+	defer eng.Close()
+	oracle := engine.NewNaiveScan(raws)
+	enqueueHotWork(t, eng, []object.DatasetID{0})
+
+	// Every tree-file read fails, forever: each queued refinement fails,
+	// retries, fails again and lands in quarantine — Quiesce must still
+	// return because quarantine bounds every retry chain.
+	treeFile := eng.Tree(0).File().ID()
+	dev.SetFaultPlan(simdisk.FaultPlan{
+		Seed:  4,
+		Pages: []simdisk.PageFault{{File: treeFile, Page: -1, Kind: simdisk.FaultTransient}},
+	})
+	eng.maint.SetPaused(false)
+	quiesceTimeout(t, eng)
+
+	st := eng.MaintenanceStats()
+	if st.Quarantined == 0 {
+		t.Fatal("persistent failures never quarantined")
+	}
+	h := eng.MaintenanceHealth()
+	if len(h.Quarantined) == 0 {
+		t.Fatal("health reports no quarantined units")
+	}
+	for _, q := range h.Quarantined {
+		if q.Kind == "refine" && q.Failures < 2 {
+			t.Fatalf("unit quarantined after %d failures, want >= QuarantineAfter", q.Failures)
+		}
+	}
+	if st.Queued != st.Completed+st.Failed+st.Dropped {
+		t.Fatalf("ledger unbalanced: queued %d != completed %d + failed %d + dropped %d",
+			st.Queued, st.Completed, st.Failed, st.Dropped)
+	}
+
+	// A quarantined cell stops consuming workers: re-demanding the same
+	// region queues nothing for it.
+	dev.SetFaultPlan(simdisk.FaultPlan{})
+	queuedBefore := eng.MaintenanceStats().Queued
+	quarantined := h.Quarantined[0]
+	if quarantined.Kind != "refine" {
+		t.Fatalf("expected refine quarantine first, got %+v", quarantined)
+	}
+	eng.maint.EnqueueRefine(quarantined.Dataset, []octree.Key{quarantined.Cell}, geom.Cube(geom.V(0.42, 0.42, 0.42), 0.1), 1e-3, []object.DatasetID{0})
+	if got := eng.MaintenanceStats().Queued; got != queuedBefore {
+		t.Fatalf("quarantined cell still accepted work: queued %d -> %d", queuedBefore, got)
+	}
+
+	// Queries keep serving from the last published layout.
+	q := geom.Cube(geom.V(0.42, 0.42, 0.42), 0.1)
+	got, err := eng.Query(q, []object.DatasetID{0})
+	if err != nil {
+		t.Fatalf("query against quarantined layout failed: %v", err)
+	}
+	want, err := oracle.Query(q, []object.DatasetID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !engine.SameObjects(got, want) {
+		t.Fatalf("degraded serving wrong: %d vs %d objects", len(got), len(want))
+	}
+
+	// Unquarantine re-admits the unit.
+	if !eng.Unquarantine(quarantined) {
+		t.Fatal("Unquarantine found nothing")
+	}
+	if eng.Unquarantine(quarantined) {
+		t.Fatal("Unquarantine not idempotent")
+	}
+	eng.maint.EnqueueRefine(quarantined.Dataset, []octree.Key{quarantined.Cell}, q, 1e-3, []object.DatasetID{0})
+	if got := eng.MaintenanceStats().Queued; got != queuedBefore+1 {
+		t.Fatalf("unquarantined cell rejected work: queued %d -> %d", queuedBefore, got)
+	}
+	quiesceTimeout(t, eng)
+}
+
+// TestMaintenancePermanentFaultQuarantinesImmediately pins the fast path:
+// a permanent device fault quarantines the unit on first failure, with no
+// retries wasted.
+func TestMaintenancePermanentFaultQuarantinesImmediately(t *testing.T) {
+	eng, _, dev := testSetup(t, 1, 3000, 11, healConfig(1, 5))
+	defer eng.Close()
+	enqueueHotWork(t, eng, []object.DatasetID{0})
+
+	treeFile := eng.Tree(0).File().ID()
+	dev.SetFaultPlan(simdisk.FaultPlan{
+		Seed:  5,
+		Pages: []simdisk.PageFault{{File: treeFile, Page: -1, Kind: simdisk.FaultPermanent}},
+	})
+	eng.maint.SetPaused(false)
+	quiesceTimeout(t, eng)
+
+	st := eng.MaintenanceStats()
+	if st.Quarantined == 0 {
+		t.Fatal("permanent fault never quarantined")
+	}
+	if st.Retried != 0 {
+		t.Fatalf("permanent fault was retried %d times", st.Retried)
+	}
+	h := eng.MaintenanceHealth()
+	for _, q := range h.Quarantined {
+		if !q.Permanent {
+			t.Fatalf("quarantine entry not marked permanent: %+v", q)
+		}
+		if !errors.Is(q.LastErr, simdisk.ErrPermanent) {
+			t.Fatalf("quarantine LastErr lost classification: %v", q.LastErr)
+		}
+	}
+}

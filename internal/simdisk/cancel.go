@@ -69,7 +69,7 @@ func (d *Device) ReadPageCtx(ctx context.Context, id FileID, idx int64, buf []by
 		return err
 	}
 	defer d.ungateOp(s)
-	dt, err := d.readPage(ctx, id, idx, buf)
+	dt, err := d.readPageRetry(ctx, id, idx, buf)
 	if err != nil {
 		return err
 	}
@@ -104,7 +104,7 @@ func (d *Device) readRunDirect(ctx context.Context, id FileID, start, n int64) (
 	buf := make([]byte, n*PageSize)
 	var total time.Duration
 	for i := int64(0); i < n; i++ {
-		dt, err := d.readPage(ctx, id, start+i, buf[i*PageSize:(i+1)*PageSize])
+		dt, err := d.readPageRetry(ctx, id, start+i, buf[i*PageSize:(i+1)*PageSize])
 		if err != nil {
 			return nil, err
 		}

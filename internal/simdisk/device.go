@@ -55,6 +55,17 @@ type Stats struct {
 	// only) for the background I/O budget (SetMaintenanceBudget) at least
 	// once before proceeding.
 	ThrottledOps int64
+	// Fault-injection and retry ledger (see FaultPlan / RetryPolicy).
+	// Faulted read attempts are rejected before any charge, so none of them
+	// appear in PageReads or the clock; LatencySpikes stall wall-clock
+	// emulation only. RetriedOps counts retry attempts performed;
+	// RetryExhausted counts reads that still failed after their last attempt
+	// or that the backoff budget cut off.
+	TransientFaults int64
+	PermanentFaults int64
+	LatencySpikes   int64
+	RetriedOps      int64
+	RetryExhausted  int64
 }
 
 // ChannelStats snapshots one I/O channel's activity: the platter time it
@@ -83,6 +94,11 @@ func (s *Stats) Add(o Stats) {
 	s.CoalescedPages += o.CoalescedPages
 	s.QueuedDelay += o.QueuedDelay
 	s.ThrottledOps += o.ThrottledOps
+	s.TransientFaults += o.TransientFaults
+	s.PermanentFaults += o.PermanentFaults
+	s.LatencySpikes += o.LatencySpikes
+	s.RetriedOps += o.RetriedOps
+	s.RetryExhausted += o.RetryExhausted
 }
 
 // file is one page file stored entirely in memory. Its pages are guarded by
@@ -159,11 +175,21 @@ type Device struct {
 	bytesWritten atomic.Int64
 	canceledOps  atomic.Int64
 
-	// failure injection: pages that return an error on next platter read.
-	// faultsArmed lets the hot path skip the mutex when no faults are set.
-	faultMu     sync.Mutex
-	faultsArmed atomic.Int32
-	readFaults  map[pageKey]error
+	// Failure injection (see faults.go): readFaults holds one-shot injected
+	// faults, faults the installed FaultPlan's evaluation state. faultsArmed
+	// counts armed one-shots plus one for an active plan, letting the hot
+	// path skip faultMu entirely when nothing is injected. retry holds the
+	// page-read retry policy (see retry.go).
+	faultMu         sync.Mutex
+	faultsArmed     atomic.Int32
+	readFaults      map[pageKey]error
+	faults          *faultState
+	retry           atomic.Pointer[RetryPolicy]
+	transientFaults atomic.Int64
+	permanentFaults atomic.Int64
+	latencySpikes   atomic.Int64
+	retriedOps      atomic.Int64
+	retryExhausted  atomic.Int64
 
 	// Single-flight run coalescing (SetShareReads): sfInflight registers the
 	// in-flight run reads of each file so overlapping readers can attach.
@@ -362,11 +388,14 @@ func (d *Device) readPage(ctx context.Context, id FileID, idx int64, buf []byte)
 		return 0, fmt.Errorf("%w: file %d page %d of %d", ErrOutOfRange, id, idx, n)
 	}
 	key := pageKey{id, idx}
+	var spike time.Duration
 	if d.faultsArmed.Load() > 0 {
-		if err := d.takeFault(key); err != nil {
+		sp, ferr := d.takeFault(key)
+		if ferr != nil {
 			f.mu.RUnlock()
-			return 0, err
+			return 0, ferr
 		}
+		spike = sp
 	}
 	var dt time.Duration
 	s := ScopeFrom(ctx)
@@ -381,7 +410,11 @@ func (d *Device) readPage(ctx context.Context, id FileID, idx int64, buf []byte)
 	}
 	copy(buf, f.pages[idx])
 	f.mu.RUnlock()
-	return dt, nil
+	// A latency spike stretches only the wall-clock emulation sleep the
+	// caller performs — the simulated clock and scope charges above saw the
+	// normal service time, so a limping head slows serving without changing
+	// any cost accounting.
+	return dt + spike, nil
 }
 
 // ReadPage reads page idx of file id into buf (which must be PageSize
@@ -389,7 +422,7 @@ func (d *Device) readPage(ctx context.Context, id FileID, idx int64, buf []byte)
 // plus Seek if it does not continue the previous platter access. Parallel
 // reads of cached pages proceed concurrently.
 func (d *Device) ReadPage(id FileID, idx int64, buf []byte) error {
-	dt, err := d.readPage(nil, id, idx, buf)
+	dt, err := d.readPageRetry(nil, id, idx, buf)
 	if err != nil {
 		return err
 	}
@@ -571,17 +604,12 @@ func (d *Device) chargePlatter(s *OpScope, key pageKey) time.Duration {
 	return svc + time.Duration(delay)
 }
 
-// takeFault consumes an armed one-shot read fault for key, if any.
-func (d *Device) takeFault(key pageKey) error {
+// takeFault evaluates the injected faults for one platter-path read of key:
+// armed one-shots first, then the installed FaultPlan (see faults.go).
+func (d *Device) takeFault(key pageKey) (time.Duration, error) {
 	d.faultMu.Lock()
 	defer d.faultMu.Unlock()
-	err, ok := d.readFaults[key]
-	if !ok {
-		return nil
-	}
-	delete(d.readFaults, key)
-	d.faultsArmed.Add(-1)
-	return err
+	return d.evalFaultLocked(key)
 }
 
 // Clock returns the simulated time elapsed since creation or the last
@@ -689,16 +717,21 @@ func (d *Device) emulateCtx(ctx context.Context, dt time.Duration) error {
 // instantaneous cross-counter cut.
 func (d *Device) Stats() Stats {
 	s := Stats{
-		PageReads:      d.pageReads.Load(),
-		PageWrites:     d.pageWrites.Load(),
-		CacheHits:      d.cache.Hits(),
-		BytesRead:      d.bytesRead.Load(),
-		BytesWritten:   d.bytesWritten.Load(),
-		CanceledOps:    d.canceledOps.Load(),
-		CoalescedReads: d.coalescedReads.Load(),
-		CoalescedPages: d.coalescedPages.Load(),
-		QueuedDelay:    time.Duration(d.queuedDelay.Load()),
-		ThrottledOps:   d.throttledOps.Load(),
+		PageReads:       d.pageReads.Load(),
+		PageWrites:      d.pageWrites.Load(),
+		CacheHits:       d.cache.Hits(),
+		BytesRead:       d.bytesRead.Load(),
+		BytesWritten:    d.bytesWritten.Load(),
+		CanceledOps:     d.canceledOps.Load(),
+		CoalescedReads:  d.coalescedReads.Load(),
+		CoalescedPages:  d.coalescedPages.Load(),
+		QueuedDelay:     time.Duration(d.queuedDelay.Load()),
+		ThrottledOps:    d.throttledOps.Load(),
+		TransientFaults: d.transientFaults.Load(),
+		PermanentFaults: d.permanentFaults.Load(),
+		LatencySpikes:   d.latencySpikes.Load(),
+		RetriedOps:      d.retriedOps.Load(),
+		RetryExhausted:  d.retryExhausted.Load(),
 	}
 	for i := range d.channels {
 		s.Seeks += d.channels[i].seeks.Load()
@@ -718,6 +751,11 @@ func (d *Device) ResetStats() {
 	d.coalescedPages.Store(0)
 	d.queuedDelay.Store(0)
 	d.throttledOps.Store(0)
+	d.transientFaults.Store(0)
+	d.permanentFaults.Store(0)
+	d.latencySpikes.Store(0)
+	d.retriedOps.Store(0)
+	d.retryExhausted.Store(0)
 	d.fgBusy.Store(0)
 	d.maintBusy.Store(0)
 	for i := range d.channels {
@@ -788,9 +826,11 @@ func (d *Device) SetCacheCapacity(pages int) {
 	d.cache.SetCapacity(pages)
 }
 
-// InjectReadFault arms a one-shot read error on (id, idx); the next platter
-// read of that page returns err instead of data. Tests use it to exercise
-// error paths through the storage stack.
+// InjectReadFault arms a one-shot read error on (id, idx): the next platter
+// read of that page fails with a transient-classified fault that unwraps to
+// err (so errors.Is matches both ErrTransient and err). Tests use it to
+// exercise error paths through the storage stack; for richer scenarios —
+// rates, storms, permanent faults, latency spikes — install a FaultPlan.
 func (d *Device) InjectReadFault(id FileID, idx int64, err error) {
 	d.faultMu.Lock()
 	defer d.faultMu.Unlock()

@@ -67,6 +67,17 @@ type Storage interface {
 	MaintenanceBudget() float64
 	AwaitMaintenanceTurn(ctx context.Context) error
 
+	// Fault injection and retry (robustness harness, see faults.go /
+	// retry.go): SetFaultPlan installs a seeded, deterministic fault plan
+	// (a DeviceArray decorrelates members with per-member seed offsets);
+	// SetRetryPolicy bounds the page-read retry loop that absorbs transient
+	// faults, wall-clock only.
+	SetFaultPlan(plan FaultPlan)
+	FaultPlanActive() bool
+	SetRetryPolicy(p RetryPolicy)
+	RetryPolicy() RetryPolicy
+	InjectReadFault(id FileID, idx int64, err error)
+
 	// Close marks the storage closed: subsequent file operations fail with
 	// ErrDeviceClosed, and the buffer cache is released. The owner (the
 	// Explorer) drains background layout maintenance before closing, so a

@@ -21,6 +21,8 @@
 package odyssey
 
 import (
+	"context"
+
 	"spaceodyssey/internal/core"
 	"spaceodyssey/internal/geom"
 	"spaceodyssey/internal/object"
@@ -53,6 +55,24 @@ type (
 	// MaintenanceStats counts the background maintenance pipeline's
 	// activity (see Options.AsyncMaintenance).
 	MaintenanceStats = core.MaintenanceStats
+	// MaintenanceHealth is the pipeline's structured health ledger: bounded
+	// failure history, quarantine list, pending retries.
+	MaintenanceHealth = core.MaintenanceHealth
+	// MaintenanceFailure is one entry of the failure history.
+	MaintenanceFailure = core.MaintenanceFailure
+	// QuarantinedCell is one maintenance unit the scheduler has stopped
+	// working on after repeated failures (see Explorer.Unquarantine).
+	QuarantinedCell = core.QuarantinedCell
+	// FaultPlan is a deterministic device fault-injection plan (see
+	// Explorer.SetFaultPlan).
+	FaultPlan = simdisk.FaultPlan
+	// PageFault is one explicit per-file/page fault pattern of a FaultPlan.
+	PageFault = simdisk.PageFault
+	// FaultKind classifies an injected fault: transient, permanent, or a
+	// latency spike.
+	FaultKind = simdisk.FaultKind
+	// RetryPolicy is the storage-read retry policy (see Options.Retry).
+	RetryPolicy = simdisk.RetryPolicy
 	// CacheStats is the result-cache ledger (see Options.CacheResults).
 	CacheStats = core.CacheStats
 	// Query couples a range with the datasets it targets.
@@ -76,6 +96,16 @@ const (
 	PriUrgent = simdisk.PriUrgent
 )
 
+// WithPriority returns a context whose queries run under the given storage
+// QoS class: their device operations are charged to that class, and
+// dispatcher submissions tagged PriMaintenance are shed with ErrOverloaded
+// while the Explorer is browned out (Options.BrownoutThreshold). Query APIs
+// attach PriForeground themselves when the context carries no class.
+func WithPriority(ctx context.Context, pri Priority) context.Context {
+	ctx, _ = simdisk.WithOpScope(ctx, pri)
+	return ctx
+}
+
 // Merge level policies (paper §3.2.5).
 const (
 	// MergeSameLevel merges only equal-level partitions (paper default).
@@ -91,6 +121,28 @@ const (
 // context's own error. Match with errors.Is(err, ErrCanceled) — or with
 // context.Canceled / context.DeadlineExceeded, or the IsCanceled helper.
 var ErrCanceled = simdisk.ErrCanceled
+
+// Fault classification sentinels: every injected device read fault wraps
+// exactly one of them. Transient faults are worth retrying (Options.Retry
+// does, automatically); permanent faults are not, and fail fast through
+// every retry policy.
+var (
+	// ErrTransient marks a fault that may succeed on retry.
+	ErrTransient = simdisk.ErrTransient
+	// ErrPermanent marks a fault retries cannot fix (bad sector, dead
+	// device region).
+	ErrPermanent = simdisk.ErrPermanent
+)
+
+// Fault kinds for FaultPlan.Pages patterns.
+const (
+	// FaultTransient injects retryable read failures.
+	FaultTransient = simdisk.FaultTransient
+	// FaultPermanent injects unretryable read failures.
+	FaultPermanent = simdisk.FaultPermanent
+	// FaultSpike injects wall-clock latency spikes (reads succeed, slowly).
+	FaultSpike = simdisk.FaultSpike
+)
 
 // Geometry constructors, re-exported for convenience.
 var (
