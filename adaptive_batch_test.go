@@ -1,0 +1,219 @@
+package odyssey
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBatchTunerIdleShrinksToMin pins the tuner's idle trajectory: flushes
+// that keep draining an empty stage halve the window step by step down to
+// the floor, and it stays there — an idle dispatcher stops taxing the next
+// lone query with staging latency.
+func TestBatchTunerIdleShrinksToMin(t *testing.T) {
+	tuner := newBatchTuner(4*time.Millisecond, 500*time.Microsecond, 16*time.Millisecond)
+	want := []time.Duration{
+		2 * time.Millisecond,
+		1 * time.Millisecond,
+		500 * time.Microsecond, // clamped at the floor
+		500 * time.Microsecond,
+		500 * time.Microsecond,
+	}
+	for i, w := range want {
+		if got := tuner.observe(0, 0, 0); got != w {
+			t.Fatalf("idle flush %d: window %v, want %v", i, got, w)
+		}
+	}
+	if tuner.shrinks != 3 {
+		t.Fatalf("shrinks = %d, want 3 (moves stop at the floor)", tuner.shrinks)
+	}
+	if tuner.grows != 0 {
+		t.Fatalf("grows = %d on an all-idle sequence", tuner.grows)
+	}
+}
+
+// TestBatchTunerBacklogGrowsToMax pins the growth trajectory: flushes that
+// keep finding a deep stage double the window up to the cap. The EWMA needs
+// a couple of samples to cross the grow threshold from zero, so the first
+// flush holds steady.
+func TestBatchTunerBacklogGrowsToMax(t *testing.T) {
+	tuner := newBatchTuner(2*time.Millisecond, 500*time.Microsecond, 8*time.Millisecond)
+	// depth 20 packing 4 queries per group: ewma after one sample is 6
+	// (>= grow threshold) and the grouping gate holds, so every flush from
+	// the first doubles until the cap.
+	want := []time.Duration{
+		4 * time.Millisecond,
+		8 * time.Millisecond, // clamped at the cap
+		8 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := tuner.observe(20, 20, 5); got != w {
+			t.Fatalf("backlog flush %d: window %v, want %v", i, got, w)
+		}
+	}
+	if tuner.grows != 2 {
+		t.Fatalf("grows = %d, want 2 (moves stop at the cap)", tuner.grows)
+	}
+
+	// The backlog clears: the EWMA decays and the window walks back down.
+	for i := 0; i < 32; i++ {
+		tuner.observe(0, 0, 0)
+	}
+	if tuner.window != 500*time.Microsecond {
+		t.Fatalf("window %v after a long idle tail, want the %v floor",
+			tuner.window, 500*time.Microsecond)
+	}
+}
+
+// TestBatchTunerHysteresis pins the dead zone: a steady groupable trickle
+// (depth between the shrink and grow thresholds, two queries per group)
+// leaves the window untouched.
+func TestBatchTunerHysteresis(t *testing.T) {
+	tuner := newBatchTuner(2*time.Millisecond, 500*time.Microsecond, 8*time.Millisecond)
+	for i := 0; i < 50; i++ {
+		if got := tuner.observe(2, 4, 2); got != 2*time.Millisecond {
+			t.Fatalf("steady trickle moved the window to %v on flush %d", got, i)
+		}
+	}
+	if tuner.grows != 0 || tuner.shrinks != 0 {
+		t.Fatalf("steady trickle counted moves: grows=%d shrinks=%d",
+			tuner.grows, tuner.shrinks)
+	}
+}
+
+// TestBatchTunerUngroupableBacklogNarrows pins the grouping gate: a deep
+// backlog whose flushes never pack more than one query per dispatch group
+// must narrow the window to its floor, never widen it — under saturation
+// with no reuse, staging only defers work.
+func TestBatchTunerUngroupableBacklogNarrows(t *testing.T) {
+	tuner := newBatchTuner(2*time.Millisecond, 500*time.Microsecond, 8*time.Millisecond)
+	for i := 0; i < 20; i++ {
+		tuner.observe(20, 2, 2) // heavy backlog, one query per group
+	}
+	if tuner.window != 500*time.Microsecond {
+		t.Fatalf("window %v under an ungroupable backlog, want the 500µs floor",
+			tuner.window)
+	}
+	if tuner.grows != 0 {
+		t.Fatalf("grows = %d on an ungroupable backlog", tuner.grows)
+	}
+	if tuner.shrinks == 0 {
+		t.Fatal("grouping gate never narrowed the window")
+	}
+}
+
+// TestBatchTunerDefaults pins the zero-value bounds: min defaults to an
+// eighth of the starting window (floored at 100µs) and max to four times it.
+func TestBatchTunerDefaults(t *testing.T) {
+	tuner := newBatchTuner(4*time.Millisecond, 0, 0)
+	if tuner.min != 500*time.Microsecond {
+		t.Fatalf("default min = %v, want 500µs", tuner.min)
+	}
+	if tuner.max != 16*time.Millisecond {
+		t.Fatalf("default max = %v, want 16ms", tuner.max)
+	}
+	// A tiny starting window floors the default min at 100µs.
+	tiny := newBatchTuner(200*time.Microsecond, 0, 0)
+	if tiny.min != 100*time.Microsecond {
+		t.Fatalf("floored min = %v, want 100µs", tiny.min)
+	}
+}
+
+// TestAdaptiveBatchDispatcherServes runs a real dispatcher with the
+// adaptive window on and checks results are complete and correct and the
+// stats surface the tuner's state (current window within bounds, shrink
+// moves recorded across an idle tail).
+func TestAdaptiveBatchDispatcherServes(t *testing.T) {
+	ex, queries := batchEnv(t)
+	d := NewDispatcherWithAdmission(ex, 4, AdmissionConfig{
+		BatchWindow:    2 * time.Millisecond,
+		AdaptiveBatch:  true,
+		MinBatchWindow: 500 * time.Microsecond,
+		MaxBatchWindow: 8 * time.Millisecond,
+	})
+	out := make(chan BatchResult, len(queries))
+	for i, q := range queries {
+		if err := d.Submit(i, q, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An idle tail long enough for several empty flushes even if the burst
+	// grew the window to its 8ms cap: the EWMA needs ~8 empty flushes to
+	// decay below the shrink threshold from a depth-40 burst.
+	time.Sleep(250 * time.Millisecond)
+	d.Close()
+	close(out)
+	got := 0
+	for r := range out {
+		if r.Err != nil {
+			t.Fatalf("query %d failed: %v", r.Index, r.Err)
+		}
+		got++
+	}
+	if got != len(queries) {
+		t.Fatalf("served %d of %d queries", got, len(queries))
+	}
+	st := d.AdmissionStats()
+	if st.BatchedQueries != int64(len(queries)) {
+		t.Fatalf("BatchedQueries = %d, want %d", st.BatchedQueries, len(queries))
+	}
+	if st.BatchWindow < 500*time.Microsecond || st.BatchWindow > 8*time.Millisecond {
+		t.Fatalf("current window %v outside [500µs, 8ms]", st.BatchWindow)
+	}
+	if st.WindowShrinks == 0 {
+		t.Fatalf("no shrink moves across a 60ms idle tail: %+v", st)
+	}
+}
+
+// TestPageStripeTopologyResultsIdentical pins the striping satellite at the
+// explorer level: the same datasets and queries on a page-striped 3-device
+// array return exactly the objects a single-device run returns — placement
+// moves I/O between spindles, never changes answers.
+func TestPageStripeTopologyResultsIdentical(t *testing.T) {
+	build := func(opts Options) (*Explorer, []Query) {
+		ex, err := NewExplorer(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := GenerateDatasets(DataConfig{Seed: 11, NumObjects: 2000, Clusters: 3}, 3)
+		for i, objs := range data {
+			if err := ex.AddDataset(DatasetID(i), objs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w, err := GenerateWorkload(WorkloadConfig{
+			Seed: 4, NumQueries: 60, NumDatasets: 3, DatasetsPerQuery: 2,
+			QueryVolumeFrac: 2e-4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ex, w.Queries
+	}
+	single, queries := build(Options{})
+	defer single.Close()
+	striped, _ := build(Options{Devices: 3, Placement: PageStripePlacement(4)})
+	defer striped.Close()
+	if top := striped.Topology(); top.Placement != "pagestripe" || top.Devices != 3 {
+		t.Fatalf("topology = %+v, want 3-device pagestripe", top)
+	}
+	for i, q := range queries {
+		want, err := single.Query(q.Range, q.Datasets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := striped.Query(q.Range, q.Datasets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameObjects(got, want) {
+			t.Fatalf("query %d: striped run returned %d objects, single-device %d",
+				i, len(got), len(want))
+		}
+	}
+	// The stripes really spread the I/O: every member device did work.
+	for m, st := range striped.DeviceStats() {
+		if st.PageReads == 0 {
+			t.Fatalf("member %d served no reads under pagestripe", m)
+		}
+	}
+}

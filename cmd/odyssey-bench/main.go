@@ -75,6 +75,9 @@ func main() {
 		faultRate  = flag.Float64("faultrate", 0.01, "base transient fault probability per read attempt for -faults (storm windows run at 10x this rate)")
 		contention = flag.Bool("contention", false, "with -parallel -async: additionally replay the cold async pass with the background I/O budget on (-maintbudget), reporting foreground latency percentiles under mixed query+maintenance contention, throttled vs unthrottled")
 		maintBgt   = flag.Float64("maintbudget", 0.2, "background I/O budget fraction for -contention: the share of platter busy time maintenance may consume while foreground queries are in flight")
+		scenario   = flag.String("scenario", "", "run the workload scenario lab on this named scenario (zipf|drift|scanheavy|pointheavy|diurnal|adversarial) or 'all': sweep static batch-window x cache-capacity settings (plus the adaptive mode with -adaptive) over an open-loop paced replay and write BENCH_scenarios.json")
+		adaptive   = flag.Bool("adaptive", false, "with -scenario: include the adaptive self-tuning mode (adaptive batch window, auto-sized result cache, heat decay) in the sweep")
+		gapDur     = flag.Duration("gap", 2*time.Millisecond, "with -scenario: base open-loop inter-arrival unit; each scenario scales it by its own pacing curve")
 	)
 	flag.Parse()
 
@@ -125,6 +128,22 @@ func main() {
 		true:  {"fig4a", "fig4b", "fig4c", "fig4d", "fig5a", "fig5b", "fig5c"},
 		false: strings.Split(*experiment, ","),
 	}[*experiment == "all"]
+
+	if *scenario != "" {
+		// The scenario lab generates its own workload and mode grid; the
+		// comparison and admission flags belong to the other experiments.
+		if *verify || *experiment != "all" {
+			fatalf("-scenario cannot be combined with -verify or -experiment (the lab runs its own workload)")
+		}
+		if *share || *cacheCmp || *asyncCmp || *faults || *contention {
+			fatalf("-scenario cannot be combined with -share/-cache/-async/-faults/-contention")
+		}
+		if *deadline != 0 || *maxInFl != 0 || *queueWait != 0 {
+			fatalf("-deadline/-maxinflight/-queuewait cannot be combined with -scenario (the lab measures raw serving latency)")
+		}
+		runScenarios(cfg, wcfg, *scenario, *adaptive, *parallel, *rtScale, *gapDur, *jsonPath)
+		return
+	}
 
 	if *parallel > 0 {
 		// The serving experiment has a fixed workload shape (fig4a's

@@ -1,0 +1,368 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	odyssey "spaceodyssey"
+	"spaceodyssey/internal/bench"
+	"spaceodyssey/internal/datagen"
+	"spaceodyssey/internal/workload"
+)
+
+// The scenario lab (-scenario): each named workload scenario (see
+// internal/workload's scenario matrix) is converged once per serving mode on
+// the instant disk and then replayed open-loop — queries submitted on the
+// scenario's own arrival pacing — through the dispatcher on a real-time
+// emulated disk. The sweep compares a grid of static batch-window and
+// cache-capacity settings against the adaptive self-tuning mode (adaptive
+// batch window + auto-sized result cache + heat decay), reporting per-query
+// end-to-end latency percentiles and verifying that every mode returns
+// byte-identical results. The machine-readable report lands in
+// BENCH_scenarios.json.
+
+// scenarioMode is one serving configuration of the sweep.
+type scenarioMode struct {
+	name     string
+	window   time.Duration
+	capacity int64
+	adaptive bool
+}
+
+// The static grid: both batch-window extremes crossed with both capacity
+// extremes. The small capacity thrashes on any repeating hotspot; the large
+// one comfortably holds a whole phase's working set — but not every phase
+// of a drifting workload at once, which is exactly the regime where
+// frequency-kept heat goes stale and decay earns its keep. The adaptive
+// mode starts from the same small budget and must grow its way out.
+const (
+	scenarioSmallCap = 16
+	scenarioLargeCap = 1 << 10
+)
+
+func scenarioModes(adaptive bool) []scenarioMode {
+	modes := []scenarioMode{
+		{name: "static-w0-small", window: 0, capacity: scenarioSmallCap},
+		{name: "static-w0-large", window: 0, capacity: scenarioLargeCap},
+		{name: "static-w4-small", window: 4 * time.Millisecond, capacity: scenarioSmallCap},
+		{name: "static-w4-large", window: 4 * time.Millisecond, capacity: scenarioLargeCap},
+	}
+	if adaptive {
+		modes = append(modes, scenarioMode{
+			name: "adaptive", window: 2 * time.Millisecond,
+			capacity: scenarioSmallCap, adaptive: true,
+		})
+	}
+	return modes
+}
+
+// scenarioModeReport is one mode's measured replay of one scenario.
+type scenarioModeReport struct {
+	Mode          string  `json:"mode"`
+	BatchWindowMS float64 `json:"batch_window_ms"`
+	Adaptive      bool    `json:"adaptive"`
+	CacheCapacity int64   `json:"cache_capacity"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	SimSeconds    float64 `json:"sim_seconds"`
+	PagesRead     int64   `json:"pages_read"`
+	Refinements   int     `json:"refinements"`
+	Merges        int     `json:"merges"`
+	P50Seconds    float64 `json:"latency_p50_seconds"`
+	P95Seconds    float64 `json:"latency_p95_seconds"`
+	P99Seconds    float64 `json:"latency_p99_seconds"`
+	CacheHits     int64   `json:"cache_hits"`
+	GhostHits     int64   `json:"ghost_hits"`
+	FinalCapacity int64   `json:"final_capacity"`
+	CapGrows      int64   `json:"capacity_grows"`
+	CapShrinks    int64   `json:"capacity_shrinks"`
+	FinalWindowMS float64 `json:"final_window_ms"`
+	WindowGrows   int64   `json:"window_grows"`
+	WindowShrinks int64   `json:"window_shrinks"`
+	Batches       int64   `json:"batches"`
+}
+
+// scenarioReport is one scenario's full sweep.
+type scenarioReport struct {
+	Scenario               string               `json:"scenario"`
+	Description            string               `json:"description"`
+	Queries                int                  `json:"queries"`
+	Modes                  []scenarioModeReport `json:"modes"`
+	ResultsIdentical       bool                 `json:"results_identical"`
+	AdaptiveP99            float64              `json:"adaptive_p99_seconds,omitempty"`
+	BestStaticP99          float64              `json:"best_static_p99_seconds"`
+	WorstStaticP99         float64              `json:"worst_static_p99_seconds"`
+	AdaptiveBeatsAllStatic bool                 `json:"adaptive_beats_all_static"`
+}
+
+// scenariosReport is the machine-readable form of the -scenario sweep
+// (BENCH_scenarios.json).
+type scenariosReport struct {
+	Experiment    string           `json:"experiment"`
+	Devices       int              `json:"devices"`
+	Channels      int              `json:"channels"`
+	Placement     string           `json:"placement"`
+	Workers       int              `json:"workers"`
+	RealtimeScale float64          `json:"realtime_scale"`
+	GapMS         float64          `json:"gap_ms"`
+	Scenarios     []scenarioReport `json:"scenarios"`
+}
+
+// runScenarios drives the scenario lab over one scenario name or "all".
+func runScenarios(cfg bench.Config, wcfg bench.WorkloadConfig, scenario string, adaptive bool, workers int, scale float64, gap time.Duration, jsonPath string) {
+	names := []string{scenario}
+	if scenario == "all" {
+		names = workload.ScenarioNames()
+	} else if workload.ScenarioDescription(scenario) == "" {
+		fatalf("unknown scenario %q (want one of %v or 'all')", scenario, workload.ScenarioNames())
+	}
+	// Fewer workers than the burst size: the dispatcher's group-sorted
+	// flush then decides which queries run concurrently, which is where
+	// batching earns its sharing wins.
+	if workers <= 0 {
+		workers = 4
+	}
+	data := datagen.GenerateDatasets(datagen.Config{
+		Seed: cfg.DataSeed, NumObjects: cfg.ObjectsPerDataset,
+		Bounds: cfg.Bounds, Layout: cfg.DataLayout,
+	}, cfg.Datasets)
+	policy, err := bench.PlacementByName(cfg.Placement)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("scenario lab: %d datasets x %d objects, %d queries, %d workers, realtime x%g, gap %v\n",
+		cfg.Datasets, cfg.ObjectsPerDataset, wcfg.Queries, workers, scale, gap)
+	fmt.Printf("storage: %d device(s) x %d channel(s), placement %s; adaptive mode: %v\n\n",
+		cfg.Devices, cfg.Channels, cfg.Placement, adaptive)
+
+	report := scenariosReport{
+		Experiment: "scenario-lab",
+		Devices:    cfg.Devices, Channels: cfg.Channels, Placement: cfg.Placement,
+		Workers: workers, RealtimeScale: scale,
+		GapMS: float64(gap) / float64(time.Millisecond),
+	}
+	for _, name := range names {
+		report.Scenarios = append(report.Scenarios,
+			runScenario(name, cfg, wcfg, data, policy, adaptive, workers, scale, gap))
+	}
+	if jsonPath == "" {
+		jsonPath = "BENCH_scenarios.json"
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := os.WriteFile(jsonPath, append(out, '\n'), 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("(wrote %s)\n", jsonPath)
+}
+
+// runScenario sweeps every mode over one scenario.
+func runScenario(name string, cfg bench.Config, wcfg bench.WorkloadConfig, data [][]odyssey.Object, policy odyssey.PlacementPolicy, adaptive bool, workers int, scale float64, gap time.Duration) scenarioReport {
+	k := 3
+	if k > cfg.Datasets {
+		k = cfg.Datasets
+	}
+	scfg := workload.ScenarioConfig{
+		Seed: wcfg.Seed, NumQueries: wcfg.Queries,
+		NumDatasets: cfg.Datasets, DatasetsPerQuery: k,
+		Bounds: cfg.Bounds, QueryVolumeFrac: wcfg.QueryVolumeFrac,
+	}
+	w, err := workload.GenerateScenario(name, scfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("--- %s: %s\n", name, w.Description)
+
+	rep := scenarioReport{
+		Scenario: name, Description: w.Description, Queries: len(w.Queries),
+		ResultsIdentical: true,
+	}
+	var basePrints map[int]uint64
+	for _, mode := range scenarioModes(adaptive) {
+		mrep, prints := runScenarioMode(mode, cfg, w, data, policy, workers, scale, gap)
+		rep.Modes = append(rep.Modes, mrep)
+		if basePrints == nil {
+			basePrints = prints
+		} else if len(prints) != len(basePrints) {
+			rep.ResultsIdentical = false
+		} else {
+			for i, fp := range basePrints {
+				if prints[i] != fp {
+					rep.ResultsIdentical = false
+					break
+				}
+			}
+		}
+	}
+	for _, m := range rep.Modes {
+		if m.Adaptive {
+			rep.AdaptiveP99 = m.P99Seconds
+			continue
+		}
+		if rep.BestStaticP99 == 0 || m.P99Seconds < rep.BestStaticP99 {
+			rep.BestStaticP99 = m.P99Seconds
+		}
+		if m.P99Seconds > rep.WorstStaticP99 {
+			rep.WorstStaticP99 = m.P99Seconds
+		}
+	}
+	if adaptive {
+		rep.AdaptiveBeatsAllStatic = rep.AdaptiveP99 > 0 && rep.AdaptiveP99 < rep.BestStaticP99
+	}
+	if !rep.ResultsIdentical {
+		fatalf("scenario %s: modes returned different results — the oracle contract is broken", name)
+	}
+	fmt.Println()
+	return rep
+}
+
+// runScenarioMode converges one Explorer for the mode and replays the
+// scenario open-loop through a dispatcher, returning the measured report and
+// the per-query result fingerprints.
+func runScenarioMode(mode scenarioMode, cfg bench.Config, w workload.ScenarioWorkload, data [][]odyssey.Object, policy odyssey.PlacementPolicy, workers int, scale float64, gap time.Duration) (scenarioModeReport, map[int]uint64) {
+	opts := odyssey.Options{
+		Bounds: cfg.Bounds, Cost: cfg.Cost, CachePages: cfg.CachePages,
+		DropCachesPerQuery: true,
+		Devices:            cfg.Devices, Channels: cfg.Channels, Placement: policy,
+		ShareScans:    true,
+		CacheResults:  true,
+		CacheCapacity: mode.capacity,
+	}
+	if mode.adaptive {
+		opts.AdaptiveCache = true
+		opts.HeatHalfLife = 64
+	}
+	ex, err := odyssey.NewExplorer(opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer func() {
+		if err := ex.Close(); err != nil {
+			fatalf("close: %v", err)
+		}
+	}()
+	for i, objs := range data {
+		if err := ex.AddDataset(odyssey.DatasetID(i), objs); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	// Converge the layout on the instant disk so the replay measures
+	// steady-state serving, then flush the result cache: the measured pass
+	// runs fresh-cache serving against a warm layout, so repeats in the
+	// scenario stream have to re-earn their hits under each mode's capacity.
+	for pass := 0; pass < 4; pass++ {
+		before := ex.Metrics()
+		for _, q := range w.Queries {
+			if _, err := ex.Query(q.Range, q.Datasets); err != nil {
+				fatalf("converge: %v", err)
+			}
+		}
+		if err := ex.Quiesce(context.Background()); err != nil {
+			fatalf("quiesce: %v", err)
+		}
+		after := ex.Metrics()
+		if after.Refinements == before.Refinements &&
+			after.PartitionsMerged == before.PartitionsMerged &&
+			after.MergeEvictions == before.MergeEvictions {
+			break
+		}
+	}
+	ex.FlushResultCache()
+	ex.ResetClock()
+	ex.ResetStats()
+	cs0 := ex.CacheStats()
+	m0 := ex.Metrics()
+	ex.SetRealTimeScale(scale)
+
+	adm := odyssey.AdmissionConfig{BatchWindow: mode.window}
+	if mode.adaptive {
+		adm.AdaptiveBatch = true
+		adm.MinBatchWindow = 250 * time.Microsecond
+		adm.MaxBatchWindow = 8 * time.Millisecond
+	}
+	d := odyssey.NewDispatcherWithAdmission(ex, workers, adm)
+	out := make(chan odyssey.BatchResult, len(w.Queries))
+	sched := make([]time.Time, len(w.Queries))
+	prints := make(map[int]uint64, len(w.Queries))
+	e2e := make([]time.Duration, 0, len(w.Queries))
+	// Results are collected concurrently and latency is measured from each
+	// query's SCHEDULED arrival, not its accepted submission: when a mode
+	// falls behind, blocked submissions must count against it rather than
+	// silently throttling the open loop (coordinated omission).
+	var badResult odyssey.BatchResult
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		for r := range out {
+			if r.Err != nil && badResult.Err == nil {
+				badResult = r
+				continue
+			}
+			prints[r.Index] = fingerprint(r.Objects)
+			e2e = append(e2e, time.Since(sched[r.Index]))
+		}
+	}()
+	t0 := time.Now()
+	// Open-loop replay: query i is due at its scenario arrival time
+	// (cumulative gaps in base units of the -gap duration), regardless of
+	// how the pool is keeping up — the pacing the adaptive batch window
+	// tunes itself to.
+	next := t0
+	for i, q := range w.Queries {
+		if w.Gaps != nil {
+			next = next.Add(time.Duration(w.Gaps[i] * float64(gap)))
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			sched[i] = next
+		} else {
+			sched[i] = time.Now()
+		}
+		if err := d.Submit(i, q, out); err != nil {
+			fatalf("submit: %v", err)
+		}
+	}
+	d.Close()
+	wall := time.Since(t0)
+	close(out)
+	<-collected
+	if badResult.Err != nil {
+		fatalf("worker %d query %d: %v", badResult.Worker, badResult.Index, badResult.Err)
+	}
+	ast := d.AdmissionStats()
+	cs := ex.CacheStats()
+	ds := ex.DiskStats()
+	m1 := ex.Metrics()
+	rep := scenarioModeReport{
+		Mode:          mode.name,
+		BatchWindowMS: float64(mode.window) / float64(time.Millisecond),
+		Adaptive:      mode.adaptive,
+		CacheCapacity: mode.capacity,
+		WallSeconds:   wall.Seconds(),
+		SimSeconds:    ex.Clock().Seconds(),
+		PagesRead:     ds.PageReads,
+		Refinements:   m1.Refinements - m0.Refinements,
+		Merges:        m1.PartitionsMerged - m0.PartitionsMerged,
+		P50Seconds:    bench.Percentile(e2e, 50).Seconds(),
+		P95Seconds:    bench.Percentile(e2e, 95).Seconds(),
+		P99Seconds:    bench.Percentile(e2e, 99).Seconds(),
+		CacheHits:     cs.Hits - cs0.Hits + cs.ContainmentHits - cs0.ContainmentHits,
+		GhostHits:     cs.GhostHits - cs0.GhostHits,
+		FinalCapacity: cs.Capacity,
+		CapGrows:      cs.CapacityGrows - cs0.CapacityGrows,
+		CapShrinks:    cs.CapacityShrinks - cs0.CapacityShrinks,
+		FinalWindowMS: float64(ast.BatchWindow) / float64(time.Millisecond),
+		WindowGrows:   ast.WindowGrows,
+		WindowShrinks: ast.WindowShrinks,
+		Batches:       ast.Batches,
+	}
+	fmt.Printf("%-16s p50 %8.2fms  p95 %8.2fms  p99 %8.2fms  %7d pages  cap %6d  win %5.2fms\n",
+		mode.name, 1e3*rep.P50Seconds, 1e3*rep.P95Seconds, 1e3*rep.P99Seconds,
+		rep.PagesRead, rep.FinalCapacity, rep.FinalWindowMS)
+	return rep, prints
+}

@@ -127,6 +127,29 @@ type Options struct {
 	// full, the coldest cached scans — fewest hits, oldest first — are
 	// evicted. Only meaningful with CacheResults.
 	CacheCapacity int64
+	// AdaptiveCache lets the result cache tune CacheCapacity at runtime
+	// instead of holding it fixed: evicted keys leave ghost entries in a
+	// bounded shadow list, a miss that hits a ghost is a capacity miss (a
+	// bigger cache would have served it), and at each tuning point — every
+	// few hundred operations and at every layout-epoch flush — a window with
+	// enough ghost hits doubles the capacity while an eviction-free window
+	// with occupancy far below budget halves it, converging toward the knee
+	// of the hit curve. CacheCapacity becomes the starting point and the
+	// bounds derive from it (capacity/16 floor, capacity x64 ceiling).
+	// Query results are unaffected — only the retention budget moves. Only
+	// meaningful with CacheResults; see CacheStats.Capacity/GhostHits.
+	AdaptiveCache bool
+	// HeatHalfLife, when positive, applies exponential decay to the
+	// engine's heat ledgers — the result cache's eviction order, the
+	// maintenance scheduler's task priorities, and the per-dataset heat
+	// that places merge files — with this half-life measured in queries: an
+	// entry untouched for HeatHalfLife queries counts half its accumulated
+	// heat, so a migrated hotspot releases its resources instead of pinning
+	// them forever. Decay is applied lazily in log-space on read (no
+	// background rescoring) and changes only eviction, scheduling and
+	// placement order — never query results. 0 (default) keeps heat
+	// cumulative forever, the original behaviour bit-for-bit.
+	HeatHalfLife int
 	// Retry is the storage-read retry policy: transient device read faults
 	// (ErrTransient) are retried up to MaxAttempts times with exponential
 	// wall-clock backoff, bounded by an optional per-read budget. Retries
@@ -228,6 +251,8 @@ func (o Options) engineConfig() core.Config {
 	cfg.ShareScans = o.ShareScans
 	cfg.CacheResults = o.CacheResults
 	cfg.CacheCapacity = o.CacheCapacity
+	cfg.AdaptiveCache = o.AdaptiveCache
+	cfg.HeatHalfLife = o.HeatHalfLife
 	cfg.QuarantineAfter = o.QuarantineAfter
 	cfg.MaintenanceRetryBackoff = o.MaintenanceRetryBackoff
 	return cfg

@@ -142,15 +142,18 @@ func NewEnvWithData(cfg Config, datasets [][]object.Object) *Env {
 func (e *Env) Config() Config { return e.cfg }
 
 // PlacementByName resolves a placement-policy name ("", "affinity",
-// "roundrobin") to a fresh policy instance, defaulting to affinity.
+// "roundrobin", "pagestripe") to a fresh policy instance, defaulting to
+// affinity.
 func PlacementByName(name string) (simdisk.PlacementPolicy, error) {
 	switch name {
 	case "", "affinity":
 		return simdisk.GroupAffinity(), nil
 	case "roundrobin":
 		return simdisk.RoundRobin(), nil
+	case "pagestripe":
+		return simdisk.PageStripe(0), nil
 	}
-	return nil, fmt.Errorf("bench: unknown placement policy %q (want affinity or roundrobin)", name)
+	return nil, fmt.Errorf("bench: unknown placement policy %q (want affinity, roundrobin or pagestripe)", name)
 }
 
 // NewStorage builds the storage topology cfg describes via

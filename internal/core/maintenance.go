@@ -75,24 +75,22 @@ type mergeTask struct {
 // coalesced duplicate demand), seq breaks heat ties FIFO. The maintenance
 // queues are max-heaps on (heat, -seq), so the hottest region's work runs
 // first — under backlog, the partitions concurrent traffic keeps hitting
-// converge before cold stragglers.
+// converge before cold stragglers. With Config.HeatHalfLife set, score is
+// the log-space decayed-heat key (see decay.go) and takes precedence; it
+// stays 0 with decay off, restoring the exact legacy order.
 type heatItem[T any] struct {
 	task  T
 	heat  int64
+	score float64 // decayed-heat key; 0 unless decay is on
 	seq   int64
 	index int // position in its heap, maintained by the heap interface
 }
 
-// heatHeap is a max-heap of maintenance tasks by (heat, FIFO).
+// heatHeap is a max-heap of maintenance tasks by (decayed heat, FIFO).
 type heatHeap[T any] []*heatItem[T]
 
-func (h heatHeap[T]) Len() int { return len(h) }
-func (h heatHeap[T]) Less(i, j int) bool {
-	if h[i].heat != h[j].heat {
-		return h[i].heat > h[j].heat
-	}
-	return h[i].seq < h[j].seq
-}
+func (h heatHeap[T]) Len() int           { return len(h) }
+func (h heatHeap[T]) Less(i, j int) bool { return hotter(h[i], h[j]) }
 func (h heatHeap[T]) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index, h[j].index = i, j
@@ -142,7 +140,8 @@ type maintainer struct {
 	mergePending map[ComboKey]*heatItem[mergeTask]
 	activeMerge  map[ComboKey]bool
 
-	seq      int64 // FIFO tiebreak for equal-heat tasks
+	seq      int64   // FIFO tiebreak for equal-heat tasks
+	halfLife float64 // heat half-life in queries; 0 = no decay
 	queueLen int
 	inFlight int
 	stats    MaintenanceStats
@@ -192,6 +191,7 @@ func newMaintainer(o *Odyssey, workers int) *maintainer {
 	m := &maintainer{
 		o:               o,
 		workers:         workers,
+		halfLife:        o.halfLife,
 		refineQ:         make(map[object.DatasetID]*heatHeap[refineTask]),
 		refinePending:   make(map[object.DatasetID]map[octree.Key]*heatItem[refineTask]),
 		activeRefine:    make(map[object.DatasetID]bool),
@@ -282,13 +282,18 @@ func (m *maintainer) enqueueRefineLocked(ds object.DatasetID, keys []octree.Key,
 		if it := pend[k]; it != nil {
 			m.stats.Coalesced++
 			it.heat++
+			if m.halfLife > 0 {
+				it.score = bumpScore(it.score, m.o.heatTick.Load(), m.halfLife)
+			}
 			heap.Fix(h, it.index)
 			continue
 		}
 		m.seq++
 		it := &heatItem[refineTask]{
-			task: refineTask{key: k, box: box, qVol: qVol, members: members},
-			heat: 1, seq: m.seq,
+			task:  refineTask{key: k, box: box, qVol: qVol, members: members},
+			heat:  1,
+			score: m.freshScore(),
+			seq:   m.seq,
 		}
 		pend[k] = it
 		heap.Push(h, it)
@@ -298,6 +303,15 @@ func (m *maintainer) enqueueRefineLocked(ds object.DatasetID, keys []octree.Key,
 	if added {
 		m.cond.Broadcast()
 	}
+}
+
+// freshScore keys a newly queued task: one demand as of the current query
+// tick (0 — the legacy ordering — when decay is off).
+func (m *maintainer) freshScore() float64 {
+	if m.halfLife <= 0 {
+		return 0
+	}
+	return heatScore(1, m.o.heatTick.Load(), m.halfLife)
 }
 
 // EnqueueMerge schedules one combination's merge step, coalescing with (and
@@ -316,13 +330,18 @@ func (m *maintainer) enqueueMergeLocked(key ComboKey, members []object.DatasetID
 	if it := m.mergePending[key]; it != nil {
 		m.stats.Coalesced++
 		it.heat++
+		if m.halfLife > 0 {
+			it.score = bumpScore(it.score, m.o.heatTick.Load(), m.halfLife)
+		}
 		heap.Fix(&m.mergeQ, it.index)
 		return
 	}
 	m.seq++
 	it := &heatItem[mergeTask]{
-		task: mergeTask{key: key, members: append([]object.DatasetID(nil), members...)},
-		heat: 1, seq: m.seq,
+		task:  mergeTask{key: key, members: append([]object.DatasetID(nil), members...)},
+		heat:  1,
+		score: m.freshScore(),
+		seq:   m.seq,
 	}
 	m.mergePending[key] = it
 	heap.Push(&m.mergeQ, it)
@@ -368,8 +387,7 @@ func (m *maintainer) pickLocked() (execTask, bool) {
 			continue
 		}
 		top := (*h)[0]
-		if bestH == nil || top.heat > (*bestH)[0].heat ||
-			(top.heat == (*bestH)[0].heat && top.seq < (*bestH)[0].seq) {
+		if bestH == nil || hotter(top, (*bestH)[0]) {
 			bestDS, bestH = ds, h
 		}
 	}
@@ -388,7 +406,7 @@ func (m *maintainer) pickLocked() (execTask, bool) {
 		if m.activeMerge[it.task.key] || m.membersBusyLocked(it.task.members) {
 			continue
 		}
-		if best == nil || it.heat > best.heat || (it.heat == best.heat && it.seq < best.seq) {
+		if best == nil || hotter(it, best) {
 			best = it
 		}
 	}
@@ -453,6 +471,68 @@ func (m *maintainer) worker() {
 		m.maybeIdleLocked()
 		m.cond.Broadcast()
 	}
+}
+
+// PruneCoveredRefines drops pending refinement tasks whose cell a merge
+// publish now covers for the demanding combination. The worker would skip
+// them anyway (runRefineTask re-checks coverage before every step), so this
+// is behavior-identical — but without it the heat ledger keeps entries for
+// merged cells alive until a worker gets around to each one, and after a
+// hotspot migration that dead backlog can dominate the heap. Called after
+// every layout-epoch bump from a merge publish; prunes count as Dropped.
+//
+// covered is evaluated with no maintainer lock held (it takes the engine's
+// shared layout lock); candidates that were picked up or re-enqueued in the
+// meantime are left alone via pointer identity.
+func (m *maintainer) PruneCoveredRefines(covered func(ds object.DatasetID, t refineTask) bool) int {
+	type cand struct {
+		ds object.DatasetID
+		it *heatItem[refineTask]
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return 0
+	}
+	var cands []cand
+	for ds, pend := range m.refinePending {
+		for _, it := range pend {
+			cands = append(cands, cand{ds: ds, it: it})
+		}
+	}
+	m.mu.Unlock()
+	if len(cands) == 0 {
+		return 0
+	}
+	dead := cands[:0]
+	for _, c := range cands {
+		if covered(c.ds, c.it.task) {
+			dead = append(dead, c)
+		}
+	}
+	if len(dead) == 0 {
+		return 0
+	}
+	m.mu.Lock()
+	pruned := 0
+	for _, c := range dead {
+		pend := m.refinePending[c.ds]
+		if pend == nil || pend[c.it.task.key] != c.it {
+			continue // picked up or replaced since the snapshot
+		}
+		heap.Remove(m.refineQ[c.ds], c.it.index)
+		delete(pend, c.it.task.key)
+		m.queueLen--
+		m.stats.QueueDepth = m.queueLen
+		m.stats.Dropped++
+		pruned++
+	}
+	if pruned > 0 {
+		m.maybeIdleLocked()
+		m.cond.Broadcast()
+	}
+	m.mu.Unlock()
+	return pruned
 }
 
 // Stats snapshots the pipeline counters.

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -56,6 +57,22 @@ type Config struct {
 	// defaults to DefaultCacheCapacity). Eviction is heat-aware: coldest
 	// entries (fewest hits, oldest among equals) leave first.
 	CacheCapacity int64
+	// HeatHalfLife decays every heat ledger — maintenance task priority,
+	// result-cache eviction order, the per-dataset placement heat — with the
+	// given half-life in queries: an access count halves every HeatHalfLife
+	// queries, applied lazily on read (see decay.go). A migrated hotspot
+	// then releases its cache entries and placement priority instead of
+	// pinning them forever. 0 (the default) disables decay: all orderings
+	// are bit-for-bit the legacy cumulative-count behavior.
+	HeatHalfLife int
+	// AdaptiveCache lets the result cache tune its own capacity between
+	// layout epochs: shadow-LRU ghost entries record recently evicted keys,
+	// a re-miss on a ghost is evidence the cache is undersized (grow toward
+	// the knee of the hit curve), sustained low occupancy with no evictions
+	// is evidence it is oversized (shrink). CacheCapacity becomes the
+	// starting point instead of a fixed bound. Capacity only affects which
+	// reads hit the cache — results are identical regardless.
+	AdaptiveCache bool
 	// QuarantineAfter is how many consecutive failures of one maintenance
 	// unit (a dataset cell's refinement, a combination's merge) quarantine
 	// it — its enqueues are then dropped until Unquarantine, so a poisoned
@@ -195,6 +212,11 @@ type Odyssey struct {
 	// skipped.
 	futile map[ComboKey]futileMark
 
+	// heatTick is the logical clock heat decay runs on: one tick per query.
+	// halfLife mirrors Config.HeatHalfLife as a float (0 = no decay).
+	heatTick atomic.Int64
+	halfLife float64
+
 	statsMu        sync.Mutex // guards everything below
 	stats          *Collector
 	queries        int
@@ -202,9 +224,25 @@ type Odyssey struct {
 	partsFromMerge int
 	relationCounts map[Relation]int
 	phases         PhaseTimes
-	// dsQueries counts how often each dataset appeared in a query — the
-	// per-dataset heat the merge-file placement group is derived from.
-	dsQueries map[object.DatasetID]int
+	// dsQueries tracks how often each dataset appeared in a query — the
+	// per-dataset heat the merge-file placement group is derived from —
+	// decayed under Config.HeatHalfLife (without decay, val is the exact
+	// integer count).
+	dsQueries map[object.DatasetID]*dsHeat
+}
+
+// dsHeat is one dataset's decayed query count: val as of tick.
+type dsHeat struct {
+	val  float64
+	tick int64
+}
+
+// decayed returns the heat as of tick now.
+func (h *dsHeat) decayed(now int64, halfLife float64) float64 {
+	if halfLife <= 0 || now <= h.tick {
+		return h.val
+	}
+	return h.val * math.Exp2(-float64(now-h.tick)/halfLife)
 }
 
 // New creates the engine over the given raw files. Nothing is indexed until
@@ -233,7 +271,8 @@ func New(dev simdisk.Storage, raws []*rawfile.Raw, bounds geom.Box, cfg Config) 
 		stats:          NewCollector(),
 		merger:         NewMerger(dev, cfg.Merger),
 		relationCounts: make(map[Relation]int),
-		dsQueries:      make(map[object.DatasetID]int),
+		dsQueries:      make(map[object.DatasetID]*dsHeat),
+		halfLife:       float64(cfg.HeatHalfLife),
 	}
 	// Merge files co-locate with their hottest member dataset by default:
 	// a superset/subset-routed query most often reads the merge file next
@@ -249,6 +288,11 @@ func New(dev simdisk.Storage, raws []*rawfile.Raw, bounds geom.Box, cfg Config) 
 	}
 	if cfg.CacheResults {
 		o.rcache = newResultCache(bounds, cfg.CacheCapacity)
+		o.rcache.halfLife = o.halfLife
+		o.rcache.tick = o.heatTick.Load
+		if cfg.AdaptiveCache {
+			o.rcache.enableAdaptive()
+		}
 	}
 	if o.scans != nil || o.rcache != nil {
 		// The share-reader hook carries both layers: single-flight scan
@@ -267,11 +311,16 @@ func New(dev simdisk.Storage, raws []*rawfile.Raw, bounds geom.Box, cfg Config) 
 // hottestMember returns the member dataset queried most often so far (ties
 // resolve to the lowest id; members must be non-empty and sorted).
 func (o *Odyssey) hottestMember(members []object.DatasetID) object.DatasetID {
+	now := o.heatTick.Load()
 	o.statsMu.Lock()
 	defer o.statsMu.Unlock()
-	best, bestN := members[0], -1
+	best, bestN := members[0], -1.0
 	for _, ds := range members {
-		if n := o.dsQueries[ds]; n > bestN {
+		var n float64
+		if h := o.dsQueries[ds]; h != nil {
+			n = h.decayed(now, o.halfLife)
+		}
+		if n > bestN {
 			best, bestN = ds, n
 		}
 	}
@@ -547,10 +596,17 @@ func (o *Odyssey) QueryCtx(ctx context.Context, q geom.Box, datasets []object.Da
 		}
 	}
 
+	tick := o.heatTick.Add(1) // one decay tick per query
 	o.statsMu.Lock()
 	o.queries++
 	for _, ds := range ordered {
-		o.dsQueries[ds]++
+		h := o.dsQueries[ds]
+		if h == nil {
+			h = &dsHeat{}
+			o.dsQueries[ds] = h
+		}
+		h.val = h.decayed(tick, o.halfLife) + 1
+		h.tick = tick
 	}
 	count := o.stats.RecordQuery(key)
 	o.statsMu.Unlock()
@@ -836,6 +892,7 @@ func (o *Odyssey) runMergeStep(ctx context.Context, key ComboKey, ordered []obje
 	for _, ds := range ordered {
 		refAfter += o.trees[ds].Refinements
 	}
+	bumped := false
 	if err == nil {
 		// Advance the epoch only on real layout change (appends,
 		// merge-time refinement, evictions) — a no-op attempt must not
@@ -843,6 +900,7 @@ func (o *Odyssey) runMergeStep(ctx context.Context, key ComboKey, ordered []obje
 		// combinations would ping-pong exclusive retries forever.
 		if appended > 0 || refAfter != refBefore || len(evicted) > 0 {
 			o.bumpLayoutEpoch()
+			bumped = true
 		}
 		o.statsMu.Lock()
 		if appended == 0 {
@@ -865,6 +923,12 @@ func (o *Odyssey) runMergeStep(ctx context.Context, key ComboKey, ordered []obje
 		o.treeMu[ordered[i]].Unlock()
 	}
 	o.mu.Unlock()
+	if bumped && o.maint != nil {
+		// The publish may have covered cells with pending refinement
+		// demands; drop them from the heat ledger (behavior-identical —
+		// the worker would skip them — but the heap stays bounded).
+		o.maint.PruneCoveredRefines(o.regionCovered)
+	}
 	if err != nil {
 		return err
 	}
@@ -1034,9 +1098,11 @@ func (o *Odyssey) mergeAsyncStep(key ComboKey, ordered []object.DatasetID) error
 	appended := o.merger.PublishMerge(prep)
 	evicted, err := o.merger.EnforceBudget()
 	dt += clock() - t1
+	bumped := false
 	if err == nil {
 		if appended > 0 || len(evicted) > 0 {
 			o.bumpLayoutEpoch()
+			bumped = true
 		}
 		o.statsMu.Lock()
 		if appended == 0 && prepErr == nil {
@@ -1051,6 +1117,11 @@ func (o *Odyssey) mergeAsyncStep(key ComboKey, ordered []object.DatasetID) error
 		o.statsMu.Unlock()
 	}
 	o.mu.Unlock()
+	if bumped && o.maint != nil {
+		// See runMergeStep: newly covered cells void their pending
+		// refinement demands.
+		o.maint.PruneCoveredRefines(o.regionCovered)
+	}
 	if err == nil {
 		err = prepErr
 	}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"spaceodyssey/internal/geom"
+	"spaceodyssey/internal/object"
+)
+
+// TestPruneCoveredRefines pins the heat-ledger prune: pending refinement
+// tasks whose cells a merge publish covers are dropped from the queues
+// (counted as Dropped, balancing the ledger), uncovered tasks survive, and
+// pruning the whole backlog makes the pipeline idle — Quiesce returns even
+// with the workers frozen.
+func TestPruneCoveredRefines(t *testing.T) {
+	eng, _, _ := testSetup(t, 3, 3000, 51, asyncConfig(2))
+	defer eng.Close()
+	eng.maint.SetPaused(true)
+
+	// One query: every queued task is a refinement (the merge task only
+	// arrives when the combination crosses mt on a repeat).
+	q := geom.Cube(geom.V(0.42, 0.42, 0.42), 0.1)
+	if _, err := eng.Query(q, []object.DatasetID{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	before := eng.MaintenanceStats()
+	if before.QueueDepth == 0 {
+		t.Fatal("query enqueued nothing; the prune test is vacuous")
+	}
+
+	// A covered predicate that spares dataset 0: only its tasks survive.
+	pruned := eng.maint.PruneCoveredRefines(func(ds object.DatasetID, _ refineTask) bool {
+		return ds != 0
+	})
+	if pruned == 0 {
+		t.Fatal("nothing pruned despite covering datasets 1 and 2")
+	}
+	mid := eng.MaintenanceStats()
+	if mid.QueueDepth != before.QueueDepth-pruned {
+		t.Fatalf("queue depth %d, want %d - %d", mid.QueueDepth, before.QueueDepth, pruned)
+	}
+	if mid.Dropped != int64(pruned) {
+		t.Fatalf("Dropped = %d, want %d", mid.Dropped, pruned)
+	}
+
+	// Cover everything: the backlog empties and the pipeline reports idle
+	// even though the workers are still paused.
+	pruned2 := eng.maint.PruneCoveredRefines(func(object.DatasetID, refineTask) bool {
+		return true
+	})
+	after := eng.MaintenanceStats()
+	if after.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after full prune", after.QueueDepth)
+	}
+	if got := int64(pruned+pruned2) + after.Completed + after.Failed; got != after.Queued {
+		t.Fatalf("ledger does not balance: %d pruned+done of %d queued", got, after.Queued)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := eng.Quiesce(ctx); err != nil {
+		t.Fatalf("Quiesce after full prune (workers paused): %v", err)
+	}
+	eng.maint.SetPaused(false)
+}

@@ -34,11 +34,16 @@ type cachedScan struct {
 // and, among equals, oldest — entry surfaces first for eviction. It reuses
 // the maintenance scheduler's heatItem access-count machinery with the
 // comparison inverted: the maintainer drains hottest-first, the cache
-// evicts coldest-first.
+// evicts coldest-first. Under Config.HeatHalfLife the decayed-heat score
+// takes precedence (zero scores with decay off restore the legacy order),
+// so a stale hotspot's once-hot entries cool down and become evictable.
 type coldHeap []*heatItem[*cachedScan]
 
 func (h coldHeap) Len() int { return len(h) }
 func (h coldHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score < h[j].score
+	}
 	if h[i].heat != h[j].heat {
 		return h[i].heat < h[j].heat
 	}
@@ -83,17 +88,42 @@ func (h *coldHeap) Pop() any {
 // callers hold the engine's shared layout lock, so entry content cannot be
 // invalidated between a lookup and the caller's use of the slice.
 type resultCache struct {
-	bounds   geom.Box
-	capacity int64 // max cached objects across all entries
+	bounds geom.Box
 
-	mu      sync.Mutex
-	entries map[scanKey]*heatItem[*cachedScan]
+	// halfLife and tick wire heat decay in (see decay.go); both zero-valued
+	// when Config.HeatHalfLife is off.
+	halfLife float64
+	tick     func() int64
+
+	mu       sync.Mutex
+	capacity int64 // max cached objects across all entries
+	entries  map[scanKey]*heatItem[*cachedScan]
 	// levels counts entries per (dataset, cell level) so the containment
 	// probe only computes candidate ancestor keys for levels that can hit.
 	levels  map[object.DatasetID]map[uint8]int
 	cold    coldHeap
 	objects int64 // cached objects across all entries
 	seq     int64 // FIFO tiebreak for equal heat
+
+	// Adaptive capacity (Config.AdaptiveCache): evicted keys linger as
+	// shadow-LRU ghosts; a miss that hits a ghost within the same epoch is
+	// a capacity miss — the entry would have hit had the cache been bigger
+	// — and grows the budget toward the knee of the hit curve. Sustained
+	// low occupancy with no evictions shrinks it back. Tuning runs between
+	// layout epochs (Invalidate) and every tuneEvery operations, entirely
+	// under mu; capacity only changes what the cache retains, never what a
+	// query returns.
+	adaptive       bool
+	minCap, maxCap int64
+	ghost          map[scanKey]struct{}
+	ghostRing      []scanKey // FIFO bound for the ghost set
+	ghostHitsWin   int64     // capacity misses since the last tune
+	evictionsWin   int64
+	peakObjects    int64
+	sinceTune      int64
+	ghostHits      int64 // lifetime counters, guarded by mu
+	grows          int64
+	shrinks        int64
 
 	hits            atomic.Int64
 	containmentHits atomic.Int64
@@ -103,6 +133,17 @@ type resultCache struct {
 	invalidations   atomic.Int64
 	zeroReads       atomic.Int64
 }
+
+// Adaptive-capacity tuning constants: the ghost list remembers up to
+// ghostCap evicted keys, tuning runs every tuneEvery cache operations (and
+// on every layout epoch), growth needs growAfter capacity misses in a
+// window, and a shrink fires when peak occupancy stayed under capacity/4
+// with no evictions.
+const (
+	ghostCap  = 4096
+	tuneEvery = 256
+	growAfter = 8
+)
 
 // newResultCache creates an empty cache over the engine's exploration
 // bounds. capacity <= 0 selects DefaultCacheCapacity.
@@ -118,6 +159,100 @@ func newResultCache(bounds geom.Box, capacity int64) *resultCache {
 	}
 }
 
+// enableAdaptive turns on self-tuning capacity around the configured
+// starting capacity: the budget floats in [capacity/16, capacity*64].
+func (c *resultCache) enableAdaptive() {
+	c.mu.Lock()
+	c.adaptive = true
+	c.minCap = c.capacity / 16
+	if c.minCap < 1024 {
+		c.minCap = 1024
+	}
+	c.maxCap = c.capacity * 64
+	c.ghost = make(map[scanKey]struct{})
+	c.mu.Unlock()
+}
+
+// touchLocked bumps a hit entry's heat (and decayed score) and repositions
+// it in the eviction heap. Caller holds mu.
+func (c *resultCache) touchLocked(it *heatItem[*cachedScan]) {
+	it.heat++
+	if c.halfLife > 0 {
+		it.score = bumpScore(it.score, c.tick(), c.halfLife)
+	}
+	heap.Fix(&c.cold, it.index)
+}
+
+// noteGhostLocked records a capacity miss when the missed key is still on
+// the ghost list. Caller holds mu.
+func (c *resultCache) noteGhostLocked(key scanKey) {
+	if !c.adaptive {
+		return
+	}
+	if _, ok := c.ghost[key]; ok {
+		c.ghostHitsWin++
+		c.ghostHits++
+	}
+}
+
+// pushGhostLocked remembers an evicted key on the bounded shadow list.
+// Caller holds mu.
+func (c *resultCache) pushGhostLocked(key scanKey) {
+	if !c.adaptive {
+		return
+	}
+	if _, ok := c.ghost[key]; ok {
+		return
+	}
+	if len(c.ghostRing) >= ghostCap {
+		delete(c.ghost, c.ghostRing[0])
+		c.ghostRing = c.ghostRing[1:]
+	}
+	c.ghost[key] = struct{}{}
+	c.ghostRing = append(c.ghostRing, key)
+}
+
+// maybeTuneLocked runs the capacity tuner on its operation cadence.
+// Caller holds mu.
+func (c *resultCache) maybeTuneLocked() {
+	if !c.adaptive {
+		return
+	}
+	if c.sinceTune++; c.sinceTune >= tuneEvery {
+		c.tuneLocked()
+	}
+}
+
+// tuneLocked moves capacity toward the knee of the observed hit curve:
+// ghost re-misses in the window mean entries the budget pushed out were
+// still wanted (grow — the hit curve is still climbing past the current
+// size); an eviction-free window that never filled a quarter of the budget
+// means the curve flattened well below it (shrink). Caller holds mu.
+func (c *resultCache) tuneLocked() {
+	if c.peakObjects < c.objects {
+		c.peakObjects = c.objects
+	}
+	switch {
+	case c.ghostHitsWin >= growAfter && c.capacity < c.maxCap:
+		c.capacity *= 2
+		if c.capacity > c.maxCap {
+			c.capacity = c.maxCap
+		}
+		c.grows++
+	case c.evictionsWin == 0 && c.ghostHitsWin == 0 &&
+		c.peakObjects*4 <= c.capacity && c.capacity > c.minCap:
+		c.capacity /= 2
+		if c.capacity < c.minCap {
+			c.capacity = c.minCap
+		}
+		c.shrinks++
+	}
+	c.ghostHitsWin = 0
+	c.evictionsWin = 0
+	c.peakObjects = c.objects
+	c.sinceTune = 0
+}
+
 // Lookup returns the cached content of (ds, cell) if present at the given
 // layout epoch. A present entry from an older epoch is dead (the global
 // epoch only advances) and is dropped on sight. ok distinguishes a cached
@@ -127,18 +262,21 @@ func (c *resultCache) Lookup(ds object.DatasetID, cell octree.Key, epoch int64) 
 	c.mu.Lock()
 	it, ok := c.entries[key]
 	if !ok {
+		c.noteGhostLocked(key)
+		c.maybeTuneLocked()
 		c.mu.Unlock()
 		c.misses.Add(1)
 		return nil, false
 	}
 	if it.task.epoch != epoch {
 		c.removeLocked(it)
+		c.maybeTuneLocked()
 		c.mu.Unlock()
 		c.misses.Add(1)
 		return nil, false
 	}
-	it.heat++
-	heap.Fix(&c.cold, it.index)
+	c.touchLocked(it)
+	c.maybeTuneLocked()
 	objs := it.task.objs
 	c.mu.Unlock()
 	c.hits.Add(1)
@@ -171,8 +309,7 @@ func (c *resultCache) AnswerContained(ds object.DatasetID, fanout int, epoch int
 		if !it.task.region.Contains(ext) {
 			continue
 		}
-		it.heat++
-		heap.Fix(&c.cold, it.index)
+		c.touchLocked(it)
 		objs := it.task.objs
 		c.mu.Unlock()
 		c.containmentHits.Add(1)
@@ -221,25 +358,49 @@ func cellAt(bounds geom.Box, fanout int, level uint8, p geom.Vec) (octree.Key, b
 // heat — the region is evidently hot.
 func (c *resultCache) Insert(ds object.DatasetID, cell octree.Key, epoch int64,
 	region geom.Box, objs []object.Object) {
-	if int64(len(objs)) > c.capacity {
-		return
-	}
 	key := scanKey{ds: ds, cell: cell}
 	c.mu.Lock()
+	if int64(len(objs)) > c.capacity {
+		// An entry that cannot fit at all is the strongest undersizing
+		// signal there is: with adaptive capacity, grow until it can
+		// (bounded by maxCap); otherwise reject as before.
+		if !c.adaptive || int64(len(objs)) > c.maxCap {
+			c.mu.Unlock()
+			return
+		}
+		for c.capacity < int64(len(objs)) && c.capacity < c.maxCap {
+			c.capacity *= 2
+		}
+		if c.capacity > c.maxCap {
+			c.capacity = c.maxCap
+		}
+		c.grows++
+	}
 	heat := int64(1)
+	score := float64(0)
+	if c.halfLife > 0 {
+		score = heatScore(1, c.tick(), c.halfLife)
+	}
 	if old, ok := c.entries[key]; ok {
 		heat = old.heat + 1
+		if c.halfLife > 0 {
+			score = bumpScore(old.score, c.tick(), c.halfLife)
+		}
 		c.removeLocked(old)
 	}
 	for c.objects+int64(len(objs)) > c.capacity && len(c.cold) > 0 {
-		c.removeLocked(c.cold[0])
+		evicted := c.cold[0]
+		c.pushGhostLocked(evicted.task.key)
+		c.removeLocked(evicted)
 		c.evictions.Add(1)
+		c.evictionsWin++
 	}
 	c.seq++
 	it := &heatItem[*cachedScan]{
-		task: &cachedScan{key: key, epoch: epoch, region: region, objs: objs},
-		heat: heat,
-		seq:  c.seq,
+		task:  &cachedScan{key: key, epoch: epoch, region: region, objs: objs},
+		heat:  heat,
+		score: score,
+		seq:   c.seq,
 	}
 	heap.Push(&c.cold, it)
 	c.entries[key] = it
@@ -250,6 +411,15 @@ func (c *resultCache) Insert(ds object.DatasetID, cell octree.Key, epoch int64,
 	}
 	lv[cell.Level]++
 	c.objects += int64(len(objs))
+	if c.objects > c.peakObjects {
+		c.peakObjects = c.objects
+	}
+	if c.adaptive {
+		// The key is cached again — it is no longer a ghost (the ring keeps
+		// a harmless stale copy that pushGhostLocked dedupes against).
+		delete(c.ghost, key)
+	}
+	c.maybeTuneLocked()
 	c.mu.Unlock()
 	c.inserts.Add(1)
 }
@@ -277,6 +447,14 @@ func (c *resultCache) removeLocked(it *heatItem[*cachedScan]) {
 func (c *resultCache) Invalidate() {
 	c.mu.Lock()
 	flushed := len(c.entries) > 0
+	if c.adaptive {
+		// The epoch boundary is the tuning point the hit curve was observed
+		// for; ghosts from the dying epoch would misread the coming
+		// compulsory misses as capacity misses, so they flush too.
+		c.tuneLocked()
+		c.ghost = make(map[scanKey]struct{})
+		c.ghostRing = nil
+	}
 	if flushed {
 		c.entries = make(map[scanKey]*heatItem[*cachedScan])
 		c.levels = make(map[object.DatasetID]map[uint8]int)
@@ -293,6 +471,8 @@ func (c *resultCache) Invalidate() {
 func (c *resultCache) Stats() CacheStats {
 	c.mu.Lock()
 	entries, objects := len(c.entries), c.objects
+	capacity := c.capacity
+	ghostHits, grows, shrinks := c.ghostHits, c.grows, c.shrinks
 	c.mu.Unlock()
 	return CacheStats{
 		Hits:            c.hits.Load(),
@@ -304,6 +484,10 @@ func (c *resultCache) Stats() CacheStats {
 		ZeroReadQueries: c.zeroReads.Load(),
 		Entries:         entries,
 		CachedObjects:   objects,
+		Capacity:        capacity,
+		GhostHits:       ghostHits,
+		CapacityGrows:   grows,
+		CapacityShrinks: shrinks,
 	}
 }
 

@@ -51,6 +51,16 @@ type CacheStats struct {
 	// Entries and CachedObjects describe the current cache occupancy.
 	Entries       int
 	CachedObjects int64
+	// Capacity is the current object budget — fixed at Config.CacheCapacity
+	// normally, floating under Config.AdaptiveCache.
+	Capacity int64
+	// GhostHits counts capacity misses: lookups that missed the cache but
+	// hit a shadow-LRU ghost of a recently evicted key — reads a bigger
+	// cache would have served. Only tracked under AdaptiveCache.
+	GhostHits int64
+	// CapacityGrows and CapacityShrinks count the adaptive tuner's moves.
+	CapacityGrows   int64
+	CapacityShrinks int64
 }
 
 // KeyOf returns the canonical key for a set of datasets.

@@ -3,6 +3,7 @@ package simdisk
 import (
 	"context"
 	"hash/fnv"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -76,6 +77,14 @@ func (groupAffinity) String() string { return "affinity" }
 type DeviceArray struct {
 	members []*Device
 	policy  PlacementPolicy
+
+	// Page striping (PageStripe policy): chunk > 0 marks the array as
+	// striping, every created file gets a stripeTag'd id and an entry in
+	// stripes mapping it to its per-member backing files. See stripe.go.
+	chunk     int64
+	stripeMu  sync.RWMutex
+	stripes   map[FileID]*stripedFile
+	stripeSeq uint32
 }
 
 // NewDeviceArray creates an array of devices member Devices with channels
@@ -97,7 +106,12 @@ func NewDeviceArray(cost CostModel, cacheCapacity, devices, channels int, policy
 	for i := range members {
 		members[i] = NewDeviceChannels(cost, perMember, channels)
 	}
-	return &DeviceArray{members: members, policy: policy}
+	a := &DeviceArray{members: members, policy: policy}
+	if sp, ok := policy.(stripingPolicy); ok {
+		a.chunk = sp.ChunkPages()
+		a.stripes = make(map[FileID]*stripedFile)
+	}
+	return a
 }
 
 // Members exposes the member devices (for tests and reports).
@@ -128,6 +142,11 @@ func (a *DeviceArray) CreateFileInGroup(name, group string) FileID {
 	if a.members[0].closed.Load() {
 		return InvalidFile
 	}
+	if a.chunk > 0 {
+		// Page striping: the file spans every member; the affinity group is
+		// moot (all groups share all spindles).
+		return a.createStriped(name)
+	}
 	m := a.policy.Place(name, group, len(a.members))
 	if m < 0 || m >= len(a.members) {
 		m = ((m % len(a.members)) + len(a.members)) % len(a.members)
@@ -136,25 +155,40 @@ func (a *DeviceArray) CreateFileInGroup(name, group string) FileID {
 	return a.encode(m, local)
 }
 
-// MemberOf returns the index of the member device holding id.
+// MemberOf returns the index of the member device holding id, or -1 for a
+// page-striped file (it spans every member).
 func (a *DeviceArray) MemberOf(id FileID) int {
+	if _, ok := a.striped(id); ok {
+		return -1
+	}
 	return int(uint32(id) % uint32(len(a.members)))
 }
 
-// DeleteFile removes a file from its member device.
+// DeleteFile removes a file from its member device (all members for a
+// striped file).
 func (a *DeviceArray) DeleteFile(id FileID) error {
+	if f, ok := a.striped(id); ok {
+		return a.deleteStriped(id, f)
+	}
 	dev, local := a.decode(id)
 	return dev.DeleteFile(local)
 }
 
 // FileName returns the debug name a file was created with.
 func (a *DeviceArray) FileName(id FileID) (string, error) {
+	if f, ok := a.striped(id); ok {
+		return f.name, nil
+	}
 	dev, local := a.decode(id)
 	return dev.FileName(local)
 }
 
-// NumPages returns the file length in pages.
+// NumPages returns the file length in pages (the logical length for a
+// striped file).
 func (a *DeviceArray) NumPages(id FileID) (int64, error) {
+	if f, ok := a.striped(id); ok {
+		return a.stripedNumPages(f)
+	}
 	dev, local := a.decode(id)
 	return dev.NumPages(local)
 }
@@ -168,50 +202,63 @@ func (a *DeviceArray) TotalPages() int64 {
 	return total
 }
 
-// ReadPage reads one page on the file's member device.
+// ReadPage reads one page on the file's member device (the chunk-mapped
+// member for a striped file).
 func (a *DeviceArray) ReadPage(id FileID, idx int64, buf []byte) error {
-	dev, local := a.decode(id)
-	return dev.ReadPage(local, idx, buf)
+	return a.ReadPageCtx(nil, id, idx, buf)
 }
 
 // ReadPageCtx is ReadPage with cancellation.
 func (a *DeviceArray) ReadPageCtx(ctx context.Context, id FileID, idx int64, buf []byte) error {
+	if f, ok := a.striped(id); ok {
+		m, lp := a.stripeLoc(idx)
+		return a.members[m].ReadPageCtx(ctx, f.locals[m], lp, buf)
+	}
 	dev, local := a.decode(id)
 	return dev.ReadPageCtx(ctx, local, idx, buf)
 }
 
 // WritePage overwrites one page on the file's member device.
 func (a *DeviceArray) WritePage(id FileID, idx int64, data []byte) error {
-	dev, local := a.decode(id)
-	return dev.WritePage(local, idx, data)
+	return a.WritePageCtx(nil, id, idx, data)
 }
 
 // WritePageCtx is WritePage with cancellation and QoS attribution.
 func (a *DeviceArray) WritePageCtx(ctx context.Context, id FileID, idx int64, data []byte) error {
+	if f, ok := a.striped(id); ok {
+		m, lp := a.stripeLoc(idx)
+		return a.members[m].WritePageCtx(ctx, f.locals[m], lp, data)
+	}
 	dev, local := a.decode(id)
 	return dev.WritePageCtx(ctx, local, idx, data)
 }
 
-// AppendPage appends one page on the file's member device.
+// AppendPage appends one page on the file's member device (at the logical
+// end of file, on the chunk-mapped member, for a striped file).
 func (a *DeviceArray) AppendPage(id FileID, data []byte) (int64, error) {
-	dev, local := a.decode(id)
-	return dev.AppendPage(local, data)
+	return a.AppendPageCtx(nil, id, data)
 }
 
 // AppendPageCtx is AppendPage with cancellation and QoS attribution.
 func (a *DeviceArray) AppendPageCtx(ctx context.Context, id FileID, data []byte) (int64, error) {
+	if f, ok := a.striped(id); ok {
+		return a.stripedAppend(ctx, f, data)
+	}
 	dev, local := a.decode(id)
 	return dev.AppendPageCtx(ctx, local, data)
 }
 
-// ReadRun reads n consecutive pages on the file's member device.
+// ReadRun reads n consecutive pages on the file's member device (fanned
+// out across all members concurrently for a striped file).
 func (a *DeviceArray) ReadRun(id FileID, start, n int64) ([]byte, error) {
-	dev, local := a.decode(id)
-	return dev.ReadRun(local, start, n)
+	return a.ReadRunCtx(nil, id, start, n)
 }
 
 // ReadRunCtx is ReadRun with cancellation.
 func (a *DeviceArray) ReadRunCtx(ctx context.Context, id FileID, start, n int64) ([]byte, error) {
+	if f, ok := a.striped(id); ok {
+		return a.stripedReadRun(ctx, f, start, n)
+	}
 	dev, local := a.decode(id)
 	return dev.ReadRunCtx(ctx, local, start, n)
 }

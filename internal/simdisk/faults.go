@@ -331,8 +331,14 @@ func (a *DeviceArray) FaultPlanActive() bool {
 }
 
 // InjectReadFault arms a one-shot fault on one member's (file, page); id is
-// array-global.
+// array-global. For a page-striped file the global page index routes to the
+// chunk-mapped member's backing file.
 func (a *DeviceArray) InjectReadFault(id FileID, idx int64, err error) {
+	if f, ok := a.striped(id); ok {
+		m, lp := a.stripeLoc(idx)
+		a.members[m].InjectReadFault(f.locals[m], lp, err)
+		return
+	}
 	dev, local := a.decode(id)
 	dev.InjectReadFault(local, idx, err)
 }

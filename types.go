@@ -166,4 +166,9 @@ var (
 	GroupAffinityPlacement = simdisk.GroupAffinity
 	// RoundRobinPlacement stripes successive files across member devices.
 	RoundRobinPlacement = simdisk.RoundRobin
+	// PageStripePlacement stripes every file page-granularly across all
+	// member devices in chunks of the given page count (RAID-0 style): one
+	// file's sequential run fans out over every spindle and reads proceed
+	// on all of them concurrently.
+	PageStripePlacement = simdisk.PageStripe
 )
