@@ -22,7 +22,7 @@ type BrownoutStats struct {
 	Engaged bool
 	// Engagements counts how many times the controller engaged a brownout.
 	Engagements int64
-	// ShedQueries counts dispatcher submissions shed with ErrOverloaded
+	// ShedQueries counts dispatcher submissions shed with ErrDegraded
 	// because they were tagged PriMaintenance during a brownout.
 	ShedQueries int64
 }
@@ -33,7 +33,7 @@ type BrownoutStats struct {
 // retry/quarantine machinery stops burning reads against a sick device and
 // the layout freezes, so queries keep answering from the last published
 // layout and the result cache — and makes the dispatcher shed PriMaintenance
-// submissions with ErrOverloaded. Disengagement uses hysteresis (half the
+// submissions with ErrDegraded. Disengagement uses hysteresis (half the
 // engage threshold) so a rate hovering at the threshold does not flap.
 type brownout struct {
 	ex        *Explorer

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	odyssey "spaceodyssey"
+	"spaceodyssey/cluster"
 	"spaceodyssey/internal/bench"
 	"spaceodyssey/internal/datagen"
 	"spaceodyssey/internal/workload"
@@ -78,6 +79,10 @@ func main() {
 		scenario   = flag.String("scenario", "", "run the workload scenario lab on this named scenario (zipf|drift|scanheavy|pointheavy|diurnal|adversarial) or 'all': sweep static batch-window x cache-capacity settings (plus the adaptive mode with -adaptive) over an open-loop paced replay and write BENCH_scenarios.json")
 		adaptive   = flag.Bool("adaptive", false, "with -scenario: include the adaptive self-tuning mode (adaptive batch window, auto-sized result cache, heat decay) in the sweep")
 		gapDur     = flag.Duration("gap", 2*time.Millisecond, "with -scenario: base open-loop inter-arrival unit; each scenario scales it by its own pacing curve")
+		clusterOn  = flag.Bool("cluster", false, "run the replicated-cluster serving experiment: the workload replays through a sharded, replicated Router (health-checked failover, hedged reads) and is pinned byte-identical to a single Explorer over the union of the datasets, writing BENCH_cluster.json via -json")
+		shards     = flag.Int("shards", 4, "with -cluster: shard count N")
+		replicas   = flag.Int("replicas", 2, "with -cluster: replication factor R (clamped to -shards)")
+		shardFlts  = flag.Bool("shardfaults", false, "with -cluster: additionally replay under deterministic shard fault plans — a crash window (availability + failover) and a slow-shard storm (hedged vs unhedged tail latency)")
 	)
 	flag.Parse()
 
@@ -143,6 +148,32 @@ func main() {
 		}
 		runScenarios(cfg, wcfg, *scenario, *adaptive, *parallel, *rtScale, *gapDur, *jsonPath)
 		return
+	}
+
+	if *clusterOn {
+		// The cluster experiment replays its own fixed workload through a
+		// Router; the single-Explorer experiment flags would silently
+		// measure something else.
+		if *verify || *experiment != "all" {
+			fatalf("-cluster cannot be combined with -verify or -experiment (it replays a fixed workload)")
+		}
+		if *parallel > 0 || *share || *cacheCmp || *asyncCmp || *faults || *contention {
+			fatalf("-cluster cannot be combined with -parallel/-share/-cache/-async/-faults/-contention")
+		}
+		if *deadline != 0 || *maxInFl != 0 || *queueWait != 0 {
+			fatalf("-deadline/-maxinflight/-queuewait cannot be combined with -cluster (availability is measured without admission shedding)")
+		}
+		if *shards < 2 {
+			fatalf("-shards must be >= 2")
+		}
+		if *replicas < 1 {
+			fatalf("-replicas must be >= 1")
+		}
+		runClusterServing(cfg, wcfg, *shards, *replicas, *shardFlts, *jsonPath)
+		return
+	}
+	if *shardFlts {
+		fatalf("-shardfaults needs -cluster")
 	}
 
 	if *parallel > 0 {
@@ -1680,6 +1711,372 @@ type faultsReport struct {
 	BrownoutEngagements    int64            `json:"brownout_engagements"`
 	BrownoutSheds          int64            `json:"brownout_sheds"`
 	DegradedAtEnd          bool             `json:"degraded_at_end"`
+}
+
+// runClusterServing measures the replicated-cluster serving stack: the zipf
+// hot-region workload converges once on a single Explorer (the oracle,
+// recording per-query result fingerprints), then replays through a sharded,
+// replicated Router — clean, through a deterministic crash window (one
+// shard down for a third of the replay, plus a brief overlap where a whole
+// replica pair is down, exercising rejects, failover and partial serving),
+// and through a slow-shard storm twice, hedged and unhedged, so the report
+// pins the tail-latency win of hedged reads. Every fully-served answer must
+// fingerprint-identical to the oracle, and the cluster-wide charge ledger
+// must conserve exactly: ChargedSim + WastedSim equals the shards'
+// device-side charges — hedging re-routes work, it never double-counts it.
+func runClusterServing(cfg bench.Config, wcfg bench.WorkloadConfig, shards, replicas int, shardFaults bool, jsonPath string) {
+	const workers = 8
+	const slowDelay = 25 * time.Millisecond
+	k := 3
+	if k > cfg.Datasets {
+		k = cfg.Datasets
+	}
+	w, err := workload.Generate(workload.Config{
+		Seed: wcfg.Seed, NumQueries: wcfg.Queries, NumDatasets: cfg.Datasets,
+		DatasetsPerQuery: k, QueryVolumeFrac: wcfg.QueryVolumeFrac,
+		RangeDist: workload.RangeClustered, CombDist: workload.CombZipf,
+		ClusterCenters: 4, SigmaFactor: 0.2,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	n := len(w.Queries)
+	data := datagen.GenerateDatasets(datagen.Config{
+		Seed: cfg.DataSeed, NumObjects: cfg.ObjectsPerDataset,
+		Bounds: cfg.Bounds, Layout: cfg.DataLayout,
+	}, cfg.Datasets)
+	policy, err := bench.PlacementByName(cfg.Placement)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	opts := odyssey.Options{
+		Bounds: cfg.Bounds, Cost: cfg.Cost, CachePages: cfg.CachePages,
+		Devices: cfg.Devices, Channels: cfg.Channels, Placement: policy,
+	}
+
+	fmt.Printf("cluster serving: %d shards, R=%d, %d datasets x %d objects, %d queries, %d submitters\n",
+		shards, replicas, cfg.Datasets, cfg.ObjectsPerDataset, n, workers)
+	fmt.Printf("storage per shard: %d device(s) x %d channel(s), placement %s; shard faults: %v\n\n",
+		cfg.Devices, cfg.Channels, cfg.Placement, shardFaults)
+
+	// Oracle: one Explorer over the union of the datasets, converged, then
+	// replayed serially for the per-query result fingerprints.
+	ex, err := odyssey.NewExplorer(opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for i, objs := range data {
+		if err := ex.AddDataset(odyssey.DatasetID(i), objs); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	for pass := 0; pass < 4; pass++ {
+		before := ex.Metrics()
+		for _, q := range w.Queries {
+			if _, err := ex.Query(q.Range, q.Datasets); err != nil {
+				fatalf("converge: %v", err)
+			}
+		}
+		after := ex.Metrics()
+		if after.Refinements == before.Refinements &&
+			after.PartitionsMerged == before.PartitionsMerged &&
+			after.MergeEvictions == before.MergeEvictions {
+			break
+		}
+	}
+	ex.ResetClock()
+	basePrints := make([]uint64, n)
+	for i, q := range w.Queries {
+		objs, err := ex.Query(q.Range, q.Datasets)
+		if err != nil {
+			fatalf("baseline: %v", err)
+		}
+		basePrints[i] = fingerprint(objs)
+	}
+	baseSim := ex.Clock()
+	if err := ex.Close(); err != nil {
+		fatalf("close baseline: %v", err)
+	}
+	fmt.Printf("%-15s %d/%d served, sim %.3fs (single Explorer, serial)\n",
+		"baseline", n, n, baseSim.Seconds())
+
+	newRouter := func(hedged bool) *cluster.Router {
+		r, err := cluster.New(cluster.Config{
+			Shards: shards, Replicas: replicas, Options: opts,
+			Policy:   cluster.ServePartial,
+			Failover: odyssey.RetryPolicy{MaxAttempts: 3, Backoff: 200 * time.Microsecond, Budget: 50 * time.Millisecond},
+			Health:   cluster.HealthConfig{ProbeInterval: 2 * time.Millisecond},
+			Hedge:    cluster.HedgeConfig{Enabled: hedged, MinDelay: 2 * time.Millisecond},
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for i, objs := range data {
+			if err := r.AddDataset(odyssey.DatasetID(i), objs); err != nil {
+				fatalf("%v", err)
+			}
+		}
+		for pass := 0; pass < 4; pass++ {
+			var before, after odyssey.Metrics
+			for _, m := range r.ShardMetrics() {
+				before.Refinements += m.Refinements
+				before.PartitionsMerged += m.PartitionsMerged
+				before.MergeEvictions += m.MergeEvictions
+			}
+			for _, q := range w.Queries {
+				if _, err := r.Query(q.Range, q.Datasets); err != nil {
+					fatalf("cluster converge: %v", err)
+				}
+			}
+			if err := r.Quiesce(context.Background()); err != nil {
+				fatalf("quiesce: %v", err)
+			}
+			for _, m := range r.ShardMetrics() {
+				after.Refinements += m.Refinements
+				after.PartitionsMerged += m.PartitionsMerged
+				after.MergeEvictions += m.MergeEvictions
+			}
+			if after.Refinements == before.Refinements &&
+				after.PartitionsMerged == before.PartitionsMerged &&
+				after.MergeEvictions == before.MergeEvictions {
+				break
+			}
+		}
+		return r
+	}
+
+	// phase replays the workload through r from `workers` submitting
+	// goroutines and reports the availability ledger of the replay.
+	phase := func(name string, r *cluster.Router) clusterPhaseReport {
+		st0 := r.Stats()
+		errs := make([]error, n)
+		lats := make([]time.Duration, n)
+		prints := make([]uint64, n)
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for s := 0; s < workers; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				for i := s; i < n; i += workers {
+					q0 := time.Now()
+					objs, err := r.Query(w.Queries[i].Range, w.Queries[i].Datasets)
+					lats[i] = time.Since(q0)
+					errs[i] = err
+					if err == nil {
+						prints[i] = fingerprint(objs)
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		wall := time.Since(t0)
+		st := r.Stats()
+		rep := clusterPhaseReport{
+			WallSeconds:      wall.Seconds(),
+			ResultsIdentical: true,
+			LatencyP50:       pct(lats, 50).Seconds(),
+			LatencyP95:       pct(lats, 95).Seconds(),
+			LatencyP99:       pct(lats, 99).Seconds(),
+			Failovers:        st.Failovers - st0.Failovers,
+			Retries:          st.Retries - st0.Retries,
+			HedgesFired:      st.HedgesFired - st0.HedgesFired,
+			HedgeWins:        st.HedgeWins - st0.HedgeWins,
+			ShardRejects:     st.ShardRejects - st0.ShardRejects,
+		}
+		for i, err := range errs {
+			switch {
+			case err == nil:
+				rep.Served++
+				if prints[i] != basePrints[i] {
+					rep.ResultsIdentical = false
+				}
+			case errors.Is(err, cluster.ErrPartial):
+				rep.Partial++
+			default:
+				rep.Failed++
+			}
+		}
+		rep.Availability = float64(rep.Served+rep.Partial) / float64(n)
+		rep.FullFraction = float64(rep.Served) / float64(n)
+		fmt.Printf("%-15s %d/%d full + %d partial (availability %.2f%%)  wall %.3fs  p50 %-10v p99 %-10v  failovers %d  rejects %d  hedges %d (%d won)  identical %v\n",
+			name, rep.Served, n, rep.Partial, 100*rep.Availability, rep.WallSeconds,
+			pct(lats, 50), pct(lats, 99), rep.Failovers, rep.ShardRejects,
+			rep.HedgesFired, rep.HedgeWins, rep.ResultsIdentical)
+		return rep
+	}
+
+	// conservation closes r and checks the cluster charge ledger against
+	// the shards' device-side charges.
+	conservation := func(r *cluster.Router) (charged, wasted, ledger time.Duration) {
+		if err := r.Close(); err != nil {
+			fatalf("close cluster: %v", err)
+		}
+		st := r.Stats()
+		for si, dev := range r.ShardChannelStats() {
+			for _, chans := range dev {
+				for _, ch := range chans {
+					ledger += ch.Busy
+				}
+			}
+			ds := r.ShardDiskStats()[si]
+			ledger += time.Duration(ds.CacheHits)*cfg.Cost.CacheHit + ds.QueuedDelay
+		}
+		return st.ChargedSim, st.WastedSim, ledger
+	}
+
+	r := newRouter(true)
+	report := clusterReport{
+		Experiment: "cluster-serving",
+		Shards:     shards, Replicas: replicas, Workers: workers,
+		Queries: n, Datasets: cfg.Datasets, ShardFaults: shardFaults,
+		BaselineSimSeconds: baseSim.Seconds(),
+	}
+	report.Clean = phase("clean", r)
+	if report.Clean.Served != n {
+		fatalf("healthy cluster failed %d of %d queries", n-report.Clean.Served, n)
+	}
+	if !report.Clean.ResultsIdentical {
+		fatalf("a healthy cluster query diverged from the single-Explorer oracle")
+	}
+
+	if shardFaults {
+		// Crash window, in query ordinals relative to this replay: shard 1
+		// is down for the middle third, and for a brief overlap shard 2 dies
+		// too — any dataset replicated exactly on that pair is unreachable,
+		// so the partial path and the reject ledger are exercised for real.
+		base := r.Stats().Queries
+		nn := int64(n)
+		crashPlan := cluster.ShardFaultPlan{Faults: []cluster.ShardFault{
+			{Shard: 1 % shards, CrashAfter: base + nn/4, CrashFor: nn / 3},
+			{Shard: 2 % shards, CrashAfter: base + nn/3, CrashFor: nn / 8},
+		}}
+		r.SetShardFaultPlan(crashPlan)
+		rep := phase("crash-window", r)
+		r.SetShardFaultPlan(cluster.ShardFaultPlan{})
+		if !rep.ResultsIdentical {
+			fatalf("a query fully served through the crash window diverged from the oracle")
+		}
+		report.Crash = &rep
+
+		// Slow-shard storm, unhedged first (a fresh Router with hedging off,
+		// converged the same way), then hedged on the main Router: identical
+		// storms, so the p99 delta is the hedging win.
+		slow := func(r *cluster.Router) cluster.ShardFaultPlan {
+			return cluster.ShardFaultPlan{Faults: []cluster.ShardFault{{
+				Shard: 0, SlowAfter: r.Stats().Queries, SlowFor: nn, SlowDelay: slowDelay,
+			}}}
+		}
+		ru := newRouter(false)
+		ru.SetShardFaultPlan(slow(ru))
+		repU := phase("slow-unhedged", ru)
+		report.SlowUnhedged = &repU
+		chU, waU, ledU := conservation(ru)
+		if chU+waU != ledU {
+			fatalf("unhedged charge conservation broken: charged %v + wasted %v != device ledger %v", chU, waU, ledU)
+		}
+
+		r.SetShardFaultPlan(slow(r))
+		repH := phase("slow-hedged", r)
+		r.SetShardFaultPlan(cluster.ShardFaultPlan{})
+		if !repH.ResultsIdentical {
+			fatalf("a hedged query diverged from the oracle")
+		}
+		report.SlowHedged = &repH
+		if repH.LatencyP99 > 0 {
+			report.HedgeP99Speedup = repU.LatencyP99 / repH.LatencyP99
+		}
+		fmt.Printf("\nslow-shard storm p99: unhedged %.1fms, hedged %.1fms (speedup x%.1f)\n",
+			1e3*repU.LatencyP99, 1e3*repH.LatencyP99, report.HedgeP99Speedup)
+	}
+
+	for _, h := range r.Health() {
+		report.ShardHealth = append(report.ShardHealth, shardHealthReport{
+			Shard: h.Shard, State: h.State.String(),
+			Probes: h.Probes, ProbeFailures: h.ProbeFailures,
+			Transitions: h.Transitions, Serves: h.Serves, Rejects: h.Rejects,
+		})
+	}
+	charged, wasted, ledger := conservation(r)
+	report.ChargedSimSeconds = charged.Seconds()
+	report.WastedSimSeconds = wasted.Seconds()
+	report.DeviceLedgerSeconds = ledger.Seconds()
+	report.ChargeConserved = charged+wasted == ledger
+	fmt.Printf("charge ledger: attributed %.3fs + wasted %.3fs vs device %.3fs — conserved: %v\n",
+		charged.Seconds(), wasted.Seconds(), ledger.Seconds(), report.ChargeConserved)
+	if !report.ChargeConserved {
+		fatalf("cluster charge conservation broken: hedged reads double- or under-counted device work")
+	}
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("(wrote %s)\n", jsonPath)
+	}
+}
+
+// clusterPhaseReport is one replay's availability ledger in the -cluster
+// experiment. Counter fields are deltas over the replay; latency
+// percentiles are wall-clock and cover every query.
+type clusterPhaseReport struct {
+	WallSeconds float64 `json:"wall_seconds"`
+	Served      int     `json:"served"`
+	Partial     int     `json:"partial"`
+	Failed      int     `json:"failed"`
+	// Availability counts every answered query (full or partial) against
+	// the workload; FullFraction counts only complete answers.
+	Availability float64 `json:"availability"`
+	FullFraction float64 `json:"full_fraction"`
+	// ResultsIdentical reports whether every fully-served query
+	// fingerprint-matched the single-Explorer oracle.
+	ResultsIdentical bool    `json:"results_identical"`
+	LatencyP50       float64 `json:"latency_p50_seconds"`
+	LatencyP95       float64 `json:"latency_p95_seconds"`
+	LatencyP99       float64 `json:"latency_p99_seconds"`
+	Failovers        int64   `json:"failovers"`
+	Retries          int64   `json:"retries"`
+	HedgesFired      int64   `json:"hedges_fired"`
+	HedgeWins        int64   `json:"hedge_wins"`
+	ShardRejects     int64   `json:"shard_rejects"`
+}
+
+// shardHealthReport mirrors cluster.ShardHealth with snake_case keys.
+type shardHealthReport struct {
+	Shard         int    `json:"shard"`
+	State         string `json:"state"`
+	Probes        int64  `json:"probes"`
+	ProbeFailures int64  `json:"probe_failures"`
+	Transitions   int64  `json:"transitions"`
+	Serves        int64  `json:"serves"`
+	Rejects       int64  `json:"rejects"`
+}
+
+// clusterReport is the machine-readable form of the -cluster experiment
+// (BENCH_cluster.json).
+type clusterReport struct {
+	Experiment          string              `json:"experiment"`
+	Shards              int                 `json:"shards"`
+	Replicas            int                 `json:"replicas"`
+	Workers             int                 `json:"workers"`
+	Queries             int                 `json:"queries"`
+	Datasets            int                 `json:"datasets"`
+	ShardFaults         bool                `json:"shard_faults"`
+	BaselineSimSeconds  float64             `json:"baseline_sim_seconds"`
+	Clean               clusterPhaseReport  `json:"clean"`
+	Crash               *clusterPhaseReport `json:"crash,omitempty"`
+	SlowUnhedged        *clusterPhaseReport `json:"slow_unhedged,omitempty"`
+	SlowHedged          *clusterPhaseReport `json:"slow_hedged,omitempty"`
+	HedgeP99Speedup     float64             `json:"hedge_p99_speedup"`
+	ChargedSimSeconds   float64             `json:"charged_sim_seconds"`
+	WastedSimSeconds    float64             `json:"wasted_sim_seconds"`
+	DeviceLedgerSeconds float64             `json:"device_ledger_seconds"`
+	ChargeConserved     bool                `json:"charge_conserved"`
+	ShardHealth         []shardHealthReport `json:"shard_health"`
 }
 
 // asyncModeReport is one maintenance mode's measured behaviour.

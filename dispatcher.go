@@ -31,6 +31,16 @@ var (
 	// Callers should shed the query (or retry with backoff) instead of
 	// queueing behind an already-saturated pool.
 	ErrOverloaded = errors.New("odyssey: dispatcher overloaded")
+
+	// ErrDegraded is the brownout shed: a PriMaintenance submission refused
+	// because the Explorer is browned out (Options.BrownoutThreshold) —
+	// the shard is degraded, not merely busy. It wraps ErrOverloaded, so
+	// errors.Is(err, ErrOverloaded) keeps matching for callers that treat
+	// both as back-off signals, while errors.Is(err, ErrDegraded) tells
+	// "browning out" from "saturated". Health-aware callers (the cluster
+	// router) key on the distinction: overload calls for retry elsewhere,
+	// degradation for steering background work away entirely.
+	ErrDegraded = fmt.Errorf("odyssey: dispatcher degraded (brownout shed): %w", ErrOverloaded)
 )
 
 // IsCanceled reports whether err is a cancellation outcome: a wrapped
@@ -461,13 +471,13 @@ func (d *Dispatcher) SubmitCtx(ctx context.Context, index int, q Query, out chan
 	}
 	// Graceful degradation: while the Explorer is browned out
 	// (Options.BrownoutThreshold), submissions tagged as background work —
-	// a PriMaintenance scope on the context — are shed with ErrOverloaded
-	// before taking an admission slot, keeping the surviving device
-	// capacity for foreground queries. Untagged and foreground/urgent
-	// submissions are unaffected.
+	// a PriMaintenance scope on the context — are shed with ErrDegraded
+	// (which wraps ErrOverloaded) before taking an admission slot, keeping
+	// the surviving device capacity for foreground queries. Untagged and
+	// foreground/urgent submissions are unaffected.
 	if sc := simdisk.ScopeFrom(ctx); sc != nil && sc.Priority() == simdisk.PriMaintenance && d.ex.shedLowPri() {
 		d.rejected.Add(1)
-		return ErrOverloaded
+		return ErrDegraded
 	}
 	if d.slots != nil {
 		select {

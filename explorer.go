@@ -178,7 +178,7 @@ type Options struct {
 	// and when the rate crosses the threshold the Explorer browns out —
 	// background maintenance pauses (shedding retry pressure and freezing
 	// the layout) and dispatcher submissions tagged PriMaintenance are shed
-	// with ErrOverloaded, while foreground queries keep serving from the
+	// with ErrDegraded, while foreground queries keep serving from the
 	// last published layout, the result cache, and whatever reads still
 	// succeed. The brownout disengages, with hysteresis, once the observed
 	// rate falls below half the threshold. 0 (default) never degrades.
@@ -632,6 +632,7 @@ func (e *Explorer) SetRetryPolicy(p RetryPolicy) { e.dev.SetRetryPolicy(p) }
 
 // Degraded reports whether the graceful-degradation controller is currently
 // engaged (Options.BrownoutThreshold). Always false with degradation off.
+// It is a thin view over the unified Health snapshot.
 func (e *Explorer) Degraded() bool {
 	return e.brown != nil && e.brown.engaged.Load()
 }

@@ -161,9 +161,10 @@ func TestExplorerRetryPolicy(t *testing.T) {
 
 // TestBrownoutDegradesAndRecovers pins graceful degradation end to end: a
 // fault storm crossing BrownoutThreshold engages the brownout (Degraded
-// flips, PriMaintenance dispatcher submissions shed with ErrOverloaded,
-// foreground submissions still admitted), and once the storm clears the
-// controller disengages with hysteresis.
+// flips, PriMaintenance dispatcher submissions shed with ErrDegraded, which
+// still matches ErrOverloaded for compatibility, foreground submissions
+// still admitted), and once the storm clears the controller disengages with
+// hysteresis.
 func TestBrownoutDegradesAndRecovers(t *testing.T) {
 	ex := faultEnv(t, Options{
 		AsyncMaintenance:   true,
@@ -199,8 +200,10 @@ func TestBrownoutDegradesAndRecovers(t *testing.T) {
 	d := NewDispatcher(ex, 2)
 	out := make(chan BatchResult, 4)
 	low := WithPriority(context.Background(), PriMaintenance)
-	if err := d.SubmitCtx(low, 0, Query{Range: hot, Datasets: dss}, out); !errors.Is(err, ErrOverloaded) {
-		t.Fatalf("PriMaintenance submission during brownout = %v, want ErrOverloaded", err)
+	if err := d.SubmitCtx(low, 0, Query{Range: hot, Datasets: dss}, out); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("PriMaintenance submission during brownout = %v, want ErrDegraded", err)
+	} else if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("brownout shed %v does not wrap ErrOverloaded; compat contract broken", err)
 	}
 	if err := d.Submit(1, Query{Range: hot, Datasets: dss}, out); err != nil {
 		t.Fatalf("foreground submission during brownout refused: %v", err)

@@ -98,8 +98,9 @@ const (
 
 // WithPriority returns a context whose queries run under the given storage
 // QoS class: their device operations are charged to that class, and
-// dispatcher submissions tagged PriMaintenance are shed with ErrOverloaded
-// while the Explorer is browned out (Options.BrownoutThreshold). Query APIs
+// dispatcher submissions tagged PriMaintenance are shed with ErrDegraded
+// (wrapping ErrOverloaded) while the Explorer is browned out
+// (Options.BrownoutThreshold). Query APIs
 // attach PriForeground themselves when the context carries no class.
 func WithPriority(ctx context.Context, pri Priority) context.Context {
 	ctx, _ = simdisk.WithOpScope(ctx, pri)
